@@ -1,0 +1,64 @@
+// Command benchgen synthesizes benchmark instances and writes them in the
+// text format read by gcr -in.
+//
+// Usage:
+//
+//	benchgen -std r1 > r1.bench              # a standard instance
+//	benchgen -sinks 500 -seed 7 -usage 0.3   # a custom instance to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/stream"
+)
+
+func main() {
+	std := flag.String("std", "", "standard benchmark name (r1..r5); overrides the custom flags")
+	name := flag.String("name", "custom", "benchmark name")
+	sinks := flag.Int("sinks", 250, "number of sinks/modules")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	die := flag.Float64("die", 0, "die side in lambda (0 = auto)")
+	instr := flag.Int("instr", 16, "number of instructions")
+	usage := flag.Float64("usage", 0.40, "fraction of modules used per instruction")
+	scatter := flag.Float64("scatter", 0.25, "fraction of each instruction's modules drawn at random")
+	cycles := flag.Int("cycles", 5000, "instruction stream length")
+	stay := flag.Float64("stay", 0.40, "Markov stay probability")
+	step := flag.Float64("step", 0.25, "Markov neighbour-step probability")
+	flag.Parse()
+
+	var cfg bench.Config
+	var err error
+	if *std != "" {
+		if cfg, err = bench.Standard(*std); err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg = bench.Config{
+			Name:      *name,
+			NumSinks:  *sinks,
+			Seed:      *seed,
+			DieSide:   *die,
+			NumInstr:  *instr,
+			Usage:     *usage,
+			Scatter:   *scatter,
+			StreamLen: *cycles,
+			Model:     stream.Markov{Stay: *stay, Step: *step},
+		}
+	}
+	b, err := bench.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := b.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

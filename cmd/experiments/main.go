@@ -1,0 +1,126 @@
+// Command experiments regenerates the tables and figures of Oh & Pedram,
+// "Gated Clock Routing Minimizing the Switched Capacitance" (DATE 1998).
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (default)
+//	experiments -exp fig3 -bench r1,r2   # one experiment on selected benchmarks
+//	experiments -exp fig5 -sweep r2      # sweeps on a different benchmark
+//	experiments -quick                   # r1–r3 only (fast)
+//
+// Experiments: tables, table4, fig3, fig4, fig5, fig6, complexity,
+// ablation, analytic, skew, regate, corners, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: tables|table4|fig3|fig4|fig5|fig6|complexity|ablation|analytic|skew|regate|corners|all")
+	benches := flag.String("bench", "", "comma-separated benchmark list (default r1..r5, or r1..r3 with -quick)")
+	sweep := flag.String("sweep", "r1", "benchmark used for the fig4/fig5/fig6 sweeps")
+	quick := flag.Bool("quick", false, "restrict default benchmarks to r1..r3")
+	flag.Parse()
+
+	names := []string{"r1", "r2", "r3", "r4", "r5"}
+	if *quick {
+		names = names[:3]
+	}
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	if err := run(*exp, names, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, names []string, sweep string) error {
+	w := os.Stdout
+	switch exp {
+	case "tables":
+		ex, err := experiments.RunWorkedExample()
+		if err != nil {
+			return err
+		}
+		experiments.PrintWorkedExample(w, ex)
+	case "table4":
+		rows, err := experiments.RunTable4(names)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable4(w, rows)
+	case "fig3":
+		rows, err := experiments.RunFig3(names)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig3(w, rows)
+	case "fig4":
+		rows, err := experiments.RunFig4(sweep, experiments.DefaultFig4Usages())
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig4(w, sweep, rows)
+	case "fig5":
+		rows, err := experiments.RunFig5(sweep, experiments.DefaultFig5Thetas())
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(w, sweep, rows)
+	case "fig6":
+		rows, err := experiments.RunFig6(sweep, experiments.DefaultFig6Ks())
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(w, sweep, rows)
+	case "complexity":
+		rows, err := experiments.RunComplexity(names)
+		if err != nil {
+			return err
+		}
+		experiments.PrintComplexity(w, rows)
+	case "ablation":
+		rows, err := experiments.RunAblation(sweep)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(w, sweep, rows)
+	case "analytic":
+		rows, err := experiments.RunAnalytic(sweep)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAnalytic(w, sweep, rows)
+	case "corners":
+		rows, err := experiments.RunCorners(sweep)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCorners(w, sweep, rows)
+	case "regate":
+		rows, err := experiments.RunRegate(sweep, 2)
+		if err != nil {
+			return err
+		}
+		experiments.PrintRegate(w, sweep, rows)
+	case "skew":
+		rows, err := experiments.RunSkewSweep(sweep, experiments.DefaultSkewBudgets())
+		if err != nil {
+			return err
+		}
+		experiments.PrintSkewSweep(w, sweep, rows)
+	case "all":
+		return experiments.RunAll(w, names, sweep)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Command gcr routes one benchmark with the selected clock-tree style and
+// prints the evaluated report.
+//
+// Usage:
+//
+//	gcr -bench r1 -mode gated-red                # standard benchmark
+//	gcr -in mychip.bench -mode buffered          # benchmark from a file
+//	gcr -bench r2 -mode gated -controllers 4     # distributed controllers
+//	gcr -bench r1 -mode gated-red -tree          # also dump the tree layout
+//	gcr -bench r1 -mode gated-red -draw          # ASCII floorplan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gatedclock "repro"
+	"repro/internal/bench"
+	"repro/internal/draw"
+	"repro/internal/report"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "standard benchmark name (r1..r5)")
+	inFile := flag.String("in", "", "benchmark file (overrides -bench)")
+	mode := flag.String("mode", "gated-red", "clock style: bare|buffered|gated|gated-red")
+	controllers := flag.Int("controllers", 1, "number of distributed gate controllers (power of two)")
+	dumpTree := flag.Bool("tree", false, "print the routed tree layout")
+	drawMap := flag.Bool("draw", false, "render an ASCII floorplan of the routed tree")
+	simulate := flag.Bool("simulate", false, "replay the benchmark's instruction stream cycle-by-cycle and compare with the probabilistic report")
+	domains := flag.Int("domains", 0, "print the N largest gating domains")
+	verilogOut := flag.String("verilog", "", "write a structural Verilog netlist to this file")
+	spiceOut := flag.String("spice", "", "write a SPICE RC deck to this file")
+	svgOut := flag.String("svg", "", "write an SVG floorplan to this file")
+	flag.Parse()
+
+	if err := run(runCfg{
+		benchName: *benchName, inFile: *inFile, mode: *mode, controllers: *controllers,
+		dumpTree: *dumpTree, drawMap: *drawMap, simulate: *simulate, domains: *domains,
+		verilogOut: *verilogOut, spiceOut: *spiceOut, svgOut: *svgOut,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "gcr:", err)
+		os.Exit(1)
+	}
+}
+
+// runCfg carries the parsed command line.
+type runCfg struct {
+	benchName, inFile, mode string
+	controllers, domains    int
+	dumpTree, drawMap       bool
+	simulate                bool
+	verilogOut, spiceOut    string
+	svgOut                  string
+}
+
+func run(cfg runCfg) error {
+	benchName, inFile, mode := cfg.benchName, cfg.inFile, cfg.mode
+	controllers, dumpTree, drawMap := cfg.controllers, cfg.dumpTree, cfg.drawMap
+	simulate, domains := cfg.simulate, cfg.domains
+	var b *gatedclock.Benchmark
+	var err error
+	switch {
+	case inFile != "":
+		f, err := os.Open(inFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if b, err = bench.Read(f); err != nil {
+			return err
+		}
+	case benchName != "":
+		if b, err = gatedclock.StandardBenchmark(benchName); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -bench or -in")
+	}
+
+	d, err := gatedclock.NewDesign(b)
+	if err != nil {
+		return err
+	}
+
+	var opts gatedclock.Options
+	switch mode {
+	case "bare":
+		opts = gatedclock.BareOptions()
+	case "buffered":
+		opts = gatedclock.BufferedOptions()
+	case "gated":
+		opts = gatedclock.GatedOptions()
+	case "gated-red":
+		opts = gatedclock.GatedReducedOptions()
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if controllers > 1 {
+		c, err := gatedclock.DistributedController(b, controllers)
+		if err != nil {
+			return err
+		}
+		opts.Controller = c
+	}
+
+	res, err := d.Route(opts)
+	if err != nil {
+		return err
+	}
+	printReport(b, mode, res)
+	if dumpTree {
+		printTree(res.Tree)
+	}
+	if drawMap {
+		fmt.Print(draw.Tree(res.Tree, b.Die, res.Controller, draw.Config{}))
+	}
+	if simulate {
+		sr, err := res.Simulate(b.Stream)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cycle-accurate replay over %d cycles:\n", sr.Cycles)
+		fmt.Printf("  clock SC %.1f (predicted %.1f)   ctrl SC %.1f (predicted %.1f)   gates on %.0f%% of the time\n",
+			sr.ClockSC, res.Report.ClockSC, sr.CtrlSC, res.Report.CtrlSC, sr.GateOnFraction*100)
+	}
+	if cfg.verilogOut != "" {
+		f, err := os.Create(cfg.verilogOut)
+		if err != nil {
+			return err
+		}
+		if err := d.WriteVerilog(f, res, "gated_clock_tree"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Verilog netlist to %s\n", cfg.verilogOut)
+	}
+	if cfg.svgOut != "" {
+		svg := draw.SVG(res.Tree, b.Die, res.Controller, draw.SVGConfig{})
+		if err := os.WriteFile(cfg.svgOut, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote SVG floorplan to %s\n", cfg.svgOut)
+	}
+	if cfg.spiceOut != "" {
+		f, err := os.Create(cfg.spiceOut)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteSpice(f, b.Name+" clock tree"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote SPICE deck to %s\n", cfg.spiceOut)
+	}
+	if domains > 0 {
+		bd, err := res.DomainBreakdown()
+		if err != nil {
+			return err
+		}
+		t := report.New(fmt.Sprintf("largest %d gating domains", domains),
+			"Cap (fF)", "P(EN)", "Sinks", "Gate at")
+		for i, d := range bd {
+			if i >= domains {
+				break
+			}
+			p, at := "always on", "-"
+			if d.Gated {
+				p = report.F(d.P, 2)
+				at = fmt.Sprintf("(%.0f, %.0f)", d.Location.X, d.Location.Y)
+			}
+			t.AddRow(report.F(d.Cap, 0), p, report.I(d.Sinks), at)
+		}
+		t.Fprint(os.Stdout)
+	}
+	return nil
+}
+
+func printReport(b *gatedclock.Benchmark, mode string, res *gatedclock.Result) {
+	rep := res.Report
+	t := report.New(fmt.Sprintf("%s / %s (%d sinks, %d controller(s))",
+		b.Name, mode, b.NumSinks(), res.Controller.K()),
+		"Metric", "Value")
+	t.AddRow("switched capacitance (fF/cycle)", report.F(rep.TotalSC, 1))
+	t.AddRow("  clock tree W(T)", report.F(rep.ClockSC, 1))
+	t.AddRow("  controller tree W(S)", report.F(rep.CtrlSC, 1))
+	t.AddRow("  same tree ungated", report.F(rep.UngatedSC, 1))
+	t.AddRow("clock wirelength (lambda)", report.F(rep.ClockWirelength, 0))
+	t.AddRow("enable star wirelength (lambda)", report.F(rep.StarWirelength, 0))
+	t.AddRow("masking gates", report.I(rep.NumGates))
+	t.AddRow("buffers", report.I(rep.NumBuffers))
+	t.AddRow("total area (lambda^2)", report.F(rep.TotalArea, 0))
+	t.AddRow("phase delay (ps)", report.F(rep.MaxDelayPs, 1))
+	t.AddRow("skew (ps)", fmt.Sprintf("%.3g", rep.SkewPs))
+	t.AddRow("merges / snakes", fmt.Sprintf("%d / %d", res.Stats.Merges, res.Stats.Snakes))
+	t.Fprint(os.Stdout)
+}
+
+func printTree(t *gatedclock.Tree) {
+	fmt.Printf("source (%.1f, %.1f)\n", t.Source.X, t.Source.Y)
+	var walk func(n *gatedclock.Node, depth int)
+	walk = func(n *gatedclock.Node, depth int) {
+		if n == nil {
+			return
+		}
+		for i := 0; i < depth; i++ {
+			fmt.Print("  ")
+		}
+		kind := "steiner"
+		if n.IsSink() {
+			kind = fmt.Sprintf("sink M%d", n.SinkIndex+1)
+		}
+		driver := ""
+		if n.Driver != nil {
+			driver = " +" + n.Driver.Name
+			if n.Gated() {
+				driver = fmt.Sprintf(" +gate[P=%.2f Ptr=%.2f]", n.P, n.Ptr)
+			}
+		}
+		fmt.Printf("%s (%.1f, %.1f) edge=%.1f%s\n", kind, n.Loc.X, n.Loc.Y, n.EdgeLen, driver)
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(t.Root, 0)
+}

@@ -1,0 +1,52 @@
+// activitysweep drives the Figure 4 experiment through the public API: the
+// same chip geometry is routed under workloads of increasing average module
+// activity, showing where clock gating stops paying off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	gatedclock "repro"
+	"repro/internal/stream"
+)
+
+func main() {
+	base, err := gatedclock.GenerateBenchmark(gatedclock.BenchmarkConfig{
+		Name:      "sweep",
+		NumSinks:  200,
+		Seed:      9,
+		NumInstr:  16,
+		StreamLen: 3000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("activity  buffered-SC  gated-SC   saving   bar (gated/buffered)")
+	for i, usage := range []float64{0.10, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95} {
+		b, err := base.WithUsage(usage, uint64(100+i), stream.DefaultMarkov())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := gatedclock.NewDesign(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, err := d.Route(gatedclock.BufferedOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		red, err := d.Route(gatedclock.GatedReducedOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := red.Report.TotalSC / buf.Report.TotalSC
+		fmt.Printf("  %.2f    %9.0f  %9.0f   %5.1f%%   %s\n",
+			d.Profile.AvgModuleActivity(),
+			buf.Report.TotalSC, red.Report.TotalSC, (1-ratio)*100,
+			strings.Repeat("#", int(ratio*40+0.5)))
+	}
+	fmt.Println("\nthe gated tree's advantage shrinks as modules idle less (paper Fig. 4)")
+}

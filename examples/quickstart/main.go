@@ -1,0 +1,58 @@
+// Quickstart: synthesize a small benchmark, route it three ways and compare
+// the switched capacitance — the library's 60-second tour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gatedclock "repro"
+)
+
+func main() {
+	// 1. A routing problem: 100 modules on an auto-sized die, a 12-
+	//    instruction synthetic ISA and a 2000-cycle instruction stream.
+	b, err := gatedclock.GenerateBenchmark(gatedclock.BenchmarkConfig{
+		Name:      "quickstart",
+		NumSinks:  100,
+		Seed:      42,
+		NumInstr:  12,
+		StreamLen: 2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Scan the instruction stream once; this builds the IFT/ITMAT
+	//    activity tables every enable probability is computed from.
+	d, err := gatedclock.NewDesign(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %q: %d sinks, %d instructions, avg module activity %.2f\n\n",
+		b.Name, b.NumSinks(), b.ISA.NumInstr(), d.Profile.AvgModuleActivity())
+
+	// 3. Route the same design three ways.
+	for _, cfg := range []struct {
+		label string
+		opts  gatedclock.Options
+	}{
+		{"buffered baseline ", gatedclock.BufferedOptions()},
+		{"fully gated       ", gatedclock.GatedOptions()},
+		{"gated + reduction ", gatedclock.GatedReducedOptions()},
+	} {
+		res, err := d.Route(cfg.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Report
+		fmt.Printf("%s  SC %8.0f fF/cycle   gates %3d   area %9.0f λ²   skew %.2g ps\n",
+			cfg.label, r.TotalSC, r.NumGates, r.TotalArea, r.SkewPs)
+	}
+
+	// 4. The zero-skew property and the activity tables are verifiable:
+	if err := gatedclock.CheckActivityTables(d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nactivity tables verified against brute-force stream scan")
+}

@@ -1,0 +1,120 @@
+package activity
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/stream"
+)
+
+func TestNewProfileFromChainValidation(t *testing.T) {
+	d := isa.PaperExample()
+	m := stream.DefaultMarkov()
+	pi := m.Stationary(4)
+	T := m.TransitionMatrix(4)
+
+	if _, err := NewProfileFromChain(d, pi[:2], T); err == nil {
+		t.Error("short stationary vector must fail")
+	}
+	if _, err := NewProfileFromChain(d, pi, T[:2]); err == nil {
+		t.Error("short transition matrix must fail")
+	}
+	badT := m.TransitionMatrix(4)
+	badT[0][0] += 0.5
+	if _, err := NewProfileFromChain(d, pi, badT); err == nil {
+		t.Error("non-stochastic row must fail")
+	}
+	badPi := append([]float64{}, pi...)
+	badPi[0] = -0.1
+	if _, err := NewProfileFromChain(d, badPi, T); err == nil {
+		t.Error("negative stationary probability must fail")
+	}
+	if _, err := NewProfileFromChain(d, pi, T); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+}
+
+func TestChainProfileNormalization(t *testing.T) {
+	d := isa.PaperExample()
+	m := stream.Markov{Stay: 0.5, Step: 0.3}
+	p, err := NewProfileFromChain(d, m.Stationary(4), m.TransitionMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqSum, pairSum := 0.0, 0.0
+	for a := 0; a < 4; a++ {
+		freqSum += p.Freq(a)
+		for b := 0; b < 4; b++ {
+			pairSum += p.PairProb(a, b)
+		}
+	}
+	if math.Abs(freqSum-1) > 1e-12 || math.Abs(pairSum-1) > 1e-12 {
+		t.Errorf("normalization broken: freq %v, pair %v", freqSum, pairSum)
+	}
+	// Full-chip enable: always on, never transitions.
+	all := p.SetForModules(0, 1, 2, 3, 4, 5)
+	if p.SignalProb(all) != 1 || math.Abs(p.TransProb(all)) > 1e-12 {
+		t.Error("root enable must be constant under the chain profile")
+	}
+}
+
+// TestSampledConvergesToChain: a sampled profile must approach the analytic
+// chain profile as the stream grows (law of large numbers).
+func TestSampledConvergesToChain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	d, err := isa.Generate(isa.GenConfig{NumModules: 24, NumInstr: 8, Usage: 0.4, Scatter: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stream.DefaultMarkov()
+	exact, err := NewProfileFromChain(d, m.Stationary(8), m.TransitionMatrix(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Generate(d, 200000, rng)
+	sampled, err := NewProfile(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		set := sampled.SetForModules(rng.IntN(24), rng.IntN(24))
+		dp := math.Abs(sampled.SignalProb(set) - exact.SignalProb(set))
+		dtr := math.Abs(sampled.TransProb(set) - exact.TransProb(set))
+		if dp > 0.02 || dtr > 0.02 {
+			t.Fatalf("sampled profile far from chain: ΔP=%v ΔPtr=%v", dp, dtr)
+		}
+	}
+}
+
+func TestStationaryIsUniformForSymmetricChain(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 16} {
+		pi := stream.DefaultMarkov().Stationary(k)
+		for i, v := range pi {
+			if math.Abs(v-1/float64(k)) > 1e-9 {
+				t.Errorf("k=%d: π[%d] = %v, want uniform", k, i, v)
+			}
+		}
+	}
+}
+
+func TestTransitionMatrixRowsStochastic(t *testing.T) {
+	for _, m := range []stream.Markov{{}, {Stay: 1}, {Stay: 0.4, Step: 0.25}, {Step: 1}} {
+		for _, k := range []int{1, 2, 7} {
+			T := m.TransitionMatrix(k)
+			for a, row := range T {
+				sum := 0.0
+				for _, v := range row {
+					if v < -1e-12 {
+						t.Fatalf("negative transition prob in %+v k=%d", m, k)
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-12 {
+					t.Errorf("%+v k=%d: row %d sums to %v", m, k, a, sum)
+				}
+			}
+		}
+	}
+}

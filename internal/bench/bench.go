@@ -1,0 +1,238 @@
+// Package bench synthesizes and serializes the benchmark instances of the
+// paper's §5. The originals are the r1–r5 zero-skew benchmarks of Tsay [6]
+// (sink placements and load capacitances) paired with instruction streams
+// from "a probabilistic model of the CPU". Neither artifact survives in
+// machine-readable form, so this package regenerates both from documented
+// seeds: sink counts match the classic benchmarks exactly, placements and
+// loads are drawn uniformly over a square die, and the ISA/stream come from
+// the locality-preserving generators in internal/isa and internal/stream.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/stream"
+)
+
+// Benchmark is one complete routing problem: geometry plus workload.
+type Benchmark struct {
+	Name     string
+	Die      geom.Rect
+	SinkLocs []geom.Point
+	SinkCaps []float64 // fF
+	ISA      *isa.Description
+	Stream   stream.Stream
+}
+
+// NumSinks returns the number of sinks (= modules).
+func (b *Benchmark) NumSinks() int { return len(b.SinkLocs) }
+
+// Validate checks internal consistency.
+func (b *Benchmark) Validate() error {
+	switch {
+	case b.NumSinks() == 0:
+		return errors.New("bench: no sinks")
+	case len(b.SinkCaps) != b.NumSinks():
+		return errors.New("bench: sink caps and locations disagree")
+	case b.ISA == nil:
+		return errors.New("bench: missing ISA")
+	case b.ISA.NumModules != b.NumSinks():
+		return fmt.Errorf("bench: %d modules for %d sinks", b.ISA.NumModules, b.NumSinks())
+	}
+	for i, p := range b.SinkLocs {
+		if !b.Die.Contains(p) {
+			return fmt.Errorf("bench: sink %d at %v outside die", i, p)
+		}
+	}
+	return b.Stream.Validate(b.ISA)
+}
+
+// Config parameterizes benchmark synthesis.
+type Config struct {
+	Name      string
+	NumSinks  int
+	Seed      uint64
+	DieSide   float64 // λ; 0 → auto-scaled with √NumSinks
+	MinLoad   float64 // fF; zero pair selects [10, 50]
+	MaxLoad   float64
+	NumInstr  int     // default 16
+	Usage     float64 // fraction of modules per instruction; default 0.40 (Table 4)
+	Scatter   float64 // isa.GenConfig scatter; default 0.25
+	Model     stream.Markov
+	StreamLen int // default 5000 ("thousands of instructions")
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.DieSide == 0 {
+		c.DieSide = math.Round(8000 * math.Sqrt(float64(c.NumSinks)/250))
+	}
+	if c.MinLoad == 0 && c.MaxLoad == 0 {
+		// A sink is a module's clock input — an aggregated FF bank, not a
+		// single flop.
+		c.MinLoad, c.MaxLoad = 30, 120
+	}
+	if c.NumInstr == 0 {
+		c.NumInstr = 16
+	}
+	if c.Usage == 0 {
+		c.Usage = 0.40
+	}
+	if c.Scatter == 0 {
+		c.Scatter = 0.25
+	}
+	if c.Model == (stream.Markov{}) {
+		c.Model = stream.DefaultMarkov()
+	}
+	if c.StreamLen == 0 {
+		c.StreamLen = 5000
+	}
+	return c
+}
+
+// Generate synthesizes a benchmark from the config; identical configs yield
+// identical benchmarks.
+func Generate(cfg Config) (*Benchmark, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumSinks <= 0 {
+		return nil, errors.New("bench: NumSinks must be positive")
+	}
+	if cfg.MaxLoad < cfg.MinLoad || cfg.MinLoad < 0 {
+		return nil, fmt.Errorf("bench: bad load range [%v, %v]", cfg.MinLoad, cfg.MaxLoad)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6c0c4a11))
+
+	b := &Benchmark{
+		Name: cfg.Name,
+		Die:  geom.Rect{X0: 0, Y0: 0, X1: cfg.DieSide, Y1: cfg.DieSide},
+	}
+	for i := 0; i < cfg.NumSinks; i++ {
+		b.SinkLocs = append(b.SinkLocs, geom.Pt(
+			rng.Float64()*cfg.DieSide, rng.Float64()*cfg.DieSide))
+	}
+	// Functional blocks of a processor are placed together and activate
+	// together, so module *indices* (which the ISA generator groups into
+	// per-instruction windows) must correspond to spatial clusters: order
+	// the sinks along a serpentine sweep of the die before assigning module
+	// numbers.
+	serpentineSort(b.SinkLocs, cfg.DieSide)
+	for i := 0; i < cfg.NumSinks; i++ {
+		b.SinkCaps = append(b.SinkCaps, cfg.MinLoad+rng.Float64()*(cfg.MaxLoad-cfg.MinLoad))
+	}
+	var err error
+	b.ISA, err = isa.Generate(isa.GenConfig{
+		NumModules: cfg.NumSinks,
+		NumInstr:   cfg.NumInstr,
+		Usage:      cfg.Usage,
+		Scatter:    cfg.Scatter,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	b.Stream = cfg.Model.Generate(b.ISA, cfg.StreamLen, rng)
+	return b, nil
+}
+
+// serpentineSort orders points along a boustrophedon sweep: the die is cut
+// into ~√N horizontal bands; bands are visited bottom-up, alternating the x
+// direction, so consecutive indices are spatial neighbours.
+func serpentineSort(pts []geom.Point, side float64) {
+	bands := int(math.Sqrt(float64(len(pts))))
+	if bands < 1 {
+		bands = 1
+	}
+	bandOf := func(p geom.Point) int {
+		b := int(p.Y / side * float64(bands))
+		if b >= bands {
+			b = bands - 1
+		}
+		return b
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		bi, bj := bandOf(pts[i]), bandOf(pts[j])
+		if bi != bj {
+			return bi < bj
+		}
+		if bi%2 == 0 {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].X > pts[j].X
+	})
+}
+
+// Standard returns the named r1–r5 configuration: sink counts follow the
+// classic zero-skew benchmarks (Table 4 of the paper), stream lengths are
+// in the thousands, and every instruction uses ≈40 % of the modules.
+func Standard(name string) (Config, error) {
+	cfg, ok := standardConfigs[name]
+	if !ok {
+		return Config{}, fmt.Errorf("bench: unknown benchmark %q (have r1..r5)", name)
+	}
+	return cfg, nil
+}
+
+// StandardNames lists the available standard benchmarks in order.
+func StandardNames() []string { return []string{"r1", "r2", "r3", "r4", "r5"} }
+
+var standardConfigs = map[string]Config{
+	"r1": {Name: "r1", NumSinks: 267, Seed: 101, NumInstr: 16, StreamLen: 4000},
+	"r2": {Name: "r2", NumSinks: 598, Seed: 102, NumInstr: 20, StreamLen: 5000},
+	"r3": {Name: "r3", NumSinks: 862, Seed: 103, NumInstr: 24, StreamLen: 6000},
+	"r4": {Name: "r4", NumSinks: 1903, Seed: 104, NumInstr: 28, StreamLen: 8000},
+	"r5": {Name: "r5", NumSinks: 3101, Seed: 105, NumInstr: 32, StreamLen: 10000},
+}
+
+// MustStandard generates a standard benchmark, panicking on internal error
+// (the configurations are compiled in, so failure is a programming bug).
+func MustStandard(name string) *Benchmark {
+	cfg, err := Standard(name)
+	if err != nil {
+		panic(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// WithUsage regenerates the benchmark's workload (ISA and stream) at a
+// different average module activity, keeping the geometry fixed — the
+// Figure 4 sweep. The activity knob is the per-instruction module usage
+// fraction, which the average module activity tracks closely.
+func (b *Benchmark) WithUsage(usage float64, seed uint64, model stream.Markov) (*Benchmark, error) {
+	if usage <= 0 || usage > 1 {
+		return nil, fmt.Errorf("bench: usage %v out of (0, 1]", usage)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xac7171e5))
+	nb := &Benchmark{
+		Name:     fmt.Sprintf("%s-u%02.0f", b.Name, usage*100),
+		Die:      b.Die,
+		SinkLocs: b.SinkLocs,
+		SinkCaps: b.SinkCaps,
+	}
+	var err error
+	nb.ISA, err = isa.Generate(isa.GenConfig{
+		NumModules: b.NumSinks(),
+		NumInstr:   b.ISA.NumInstr(),
+		Usage:      usage,
+		Scatter:    0.25,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	nb.Stream = model.Generate(nb.ISA, len(b.Stream), rng)
+	return nb, nil
+}

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+func TestGenerateShape(t *testing.T) {
+	b, err := Generate(Config{Name: "t", NumSinks: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumSinks() != 120 || b.ISA.NumModules != 120 {
+		t.Fatalf("shape wrong: %d sinks, %d modules", b.NumSinks(), b.ISA.NumModules)
+	}
+	if b.ISA.NumInstr() != 16 || len(b.Stream) != 5000 {
+		t.Errorf("defaults wrong: %d instr, %d cycles", b.ISA.NumInstr(), len(b.Stream))
+	}
+	for i, p := range b.SinkLocs {
+		if !b.Die.Contains(p) {
+			t.Fatalf("sink %d at %v outside die %v", i, p, b.Die)
+		}
+	}
+	for i, c := range b.SinkCaps {
+		if c < 30 || c > 120 {
+			t.Fatalf("sink %d load %v outside default range", i, c)
+		}
+	}
+	// Ave(M(I)) ≈ 0.40 per Table 4.
+	if u := b.ISA.AvgUsage(); math.Abs(u-0.40) > 0.01 {
+		t.Errorf("AvgUsage = %v, want ≈0.40", u)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(Config{Name: "d", NumSinks: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Name: "d", NumSinks: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.SinkLocs {
+		if a.SinkLocs[i] != b.SinkLocs[i] || a.SinkCaps[i] != b.SinkCaps[i] {
+			t.Fatal("same seed must reproduce geometry")
+		}
+	}
+	for i := range a.Stream {
+		if a.Stream[i] != b.Stream[i] {
+			t.Fatal("same seed must reproduce the stream")
+		}
+	}
+	c, err := Generate(Config{Name: "d", NumSinks: 50, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.SinkLocs {
+		if a.SinkLocs[i] != c.SinkLocs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumSinks: 0}); err == nil {
+		t.Error("zero sinks must fail")
+	}
+	if _, err := Generate(Config{NumSinks: 10, MinLoad: 50, MaxLoad: 10}); err == nil {
+		t.Error("inverted load range must fail")
+	}
+	if _, err := Generate(Config{NumSinks: 10, Model: stream.Markov{Stay: 0.9, Step: 0.9}}); err == nil {
+		t.Error("invalid stream model must fail")
+	}
+}
+
+func TestStandardBenchmarks(t *testing.T) {
+	wantSinks := map[string]int{"r1": 267, "r2": 598, "r3": 862, "r4": 1903, "r5": 3101}
+	for _, name := range StandardNames() {
+		cfg, err := Standard(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.NumSinks != wantSinks[name] {
+			t.Errorf("%s: %d sinks, want %d", name, cfg.NumSinks, wantSinks[name])
+		}
+	}
+	if _, err := Standard("r9"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	b := MustStandard("r1")
+	if b.NumSinks() != 267 {
+		t.Errorf("r1 has %d sinks", b.NumSinks())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustStandard on unknown name must panic")
+		}
+	}()
+	MustStandard("bogus")
+}
+
+func TestSerpentineLocality(t *testing.T) {
+	b, err := Generate(Config{Name: "s", NumSinks: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive module indices must be far closer on average than random
+	// pairs (that is the point of the serpentine ordering).
+	var adj, far float64
+	n := b.NumSinks()
+	for i := 0; i+1 < n; i++ {
+		adj += geom.Dist(b.SinkLocs[i], b.SinkLocs[i+1])
+		far += geom.Dist(b.SinkLocs[i], b.SinkLocs[(i+n/2)%n])
+	}
+	if adj*3 > far {
+		t.Errorf("serpentine ordering too weak: adjacent %v vs distant %v", adj, far)
+	}
+}
+
+func TestWithUsage(t *testing.T) {
+	b, err := Generate(Config{Name: "u", NumSinks: 80, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := b.WithUsage(0.1, 1, stream.DefaultMarkov())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Geometry shared, workload changed.
+	for i := range b.SinkLocs {
+		if b.SinkLocs[i] != lo.SinkLocs[i] {
+			t.Fatal("WithUsage must keep the geometry")
+		}
+	}
+	if got := lo.ISA.AvgUsage(); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("usage = %v, want 0.1", got)
+	}
+	if _, err := b.WithUsage(0, 1, stream.DefaultMarkov()); err == nil {
+		t.Error("usage 0 must fail")
+	}
+	if _, err := b.WithUsage(1.2, 1, stream.DefaultMarkov()); err == nil {
+		t.Error("usage > 1 must fail")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := func() *Benchmark {
+		b, err := Generate(Config{Name: "v", NumSinks: 10, Seed: 2, StreamLen: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b := good()
+	b.SinkCaps = b.SinkCaps[:5]
+	if b.Validate() == nil {
+		t.Error("cap/loc mismatch must fail")
+	}
+	b = good()
+	b.ISA = nil
+	if b.Validate() == nil {
+		t.Error("missing ISA must fail")
+	}
+	b = good()
+	b.SinkLocs[0] = geom.Pt(-10, -10)
+	if b.Validate() == nil {
+		t.Error("sink outside die must fail")
+	}
+	b = good()
+	b.Stream[0] = 99
+	if b.Validate() == nil {
+		t.Error("invalid stream must fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	b, err := Generate(Config{Name: "rt", NumSinks: 40, Seed: 8, StreamLen: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != b.Name || got.Die != b.Die {
+		t.Error("header fields differ")
+	}
+	for i := range b.SinkLocs {
+		if got.SinkLocs[i] != b.SinkLocs[i] || got.SinkCaps[i] != b.SinkCaps[i] {
+			t.Fatalf("sink %d differs", i)
+		}
+	}
+	if got.ISA.NumInstr() != b.ISA.NumInstr() {
+		t.Fatal("instruction count differs")
+	}
+	for k := 0; k < b.ISA.NumInstr(); k++ {
+		gu, bu := got.ISA.Uses(k), b.ISA.Uses(k)
+		if len(gu) != len(bu) {
+			t.Fatalf("instruction %d differs", k)
+		}
+		for i := range gu {
+			if gu[i] != bu[i] {
+				t.Fatalf("instruction %d differs", k)
+			}
+		}
+	}
+	if len(got.Stream) != len(b.Stream) {
+		t.Fatal("stream length differs")
+	}
+	for i := range b.Stream {
+		if got.Stream[i] != b.Stream[i] {
+			t.Fatalf("stream cycle %d differs", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad header":  "not a benchmark\n",
+		"empty":       "",
+		"missing die": "gatedclock-benchmark v1\nname x\nsinks 1\n",
+		"truncated": "gatedclock-benchmark v1\nname x\ndie 0 0 10 10\nsinks 2\n" +
+			"1 1 5\n",
+		"no end": "gatedclock-benchmark v1\nname x\ndie 0 0 10 10\nsinks 1\n" +
+			"1 1 5\ninstructions 1\n0\nstream 2\n0 0\n",
+		"bad sink line": "gatedclock-benchmark v1\nname x\ndie 0 0 10 10\nsinks 1\n" +
+			"1 1\ninstructions 1\n0\nstream 2\n0 0\nend\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	b, err := Generate(Config{Name: "c", NumSinks: 5, Seed: 1, StreamLen: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	noisy := "# a comment\n\n" + strings.ReplaceAll(buf.String(), "stream", "# mid comment\nstream")
+	if _, err := Read(strings.NewReader(noisy)); err != nil {
+		t.Errorf("comments must be tolerated: %v", err)
+	}
+}

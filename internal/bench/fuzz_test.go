@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the benchmark parser with mutated inputs; it must
+// never panic, and anything it accepts must re-serialize losslessly.
+func FuzzRead(f *testing.F) {
+	b, err := Generate(Config{Name: "seed", NumSinks: 6, Seed: 1, StreamLen: 40})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("gatedclock-benchmark v1\n")
+	f.Add("gatedclock-benchmark v1\nname x\ndie 0 0 1 1\nsinks 0\ninstructions 0\nstream 0\nend\n")
+	f.Add(strings.ReplaceAll(buf.String(), "end", ""))
+	f.Add(strings.ReplaceAll(buf.String(), "sinks 6", "sinks 999"))
+
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted benchmarks must round-trip.
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("accepted benchmark fails to serialize: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.NumSinks() != got.NumSinks() || len(again.Stream) != len(got.Stream) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

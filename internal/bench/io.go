@@ -1,0 +1,231 @@
+// Benchmark serialization: a line-oriented text format so instances can be
+// generated once, archived, and re-routed reproducibly.
+//
+//	gatedclock-benchmark v1
+//	name r1
+//	die 0 0 8268 8268
+//	sinks 267
+//	<x> <y> <cap>            (one line per sink, module index = line order)
+//	instructions 16
+//	<m> <m> <m> ...          (one line per instruction: used module indices)
+//	stream 4000
+//	<k> <k> <k> ...          (instruction indices, wrapped at 20 per line)
+//	end
+package bench
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/stream"
+)
+
+const formatHeader = "gatedclock-benchmark v1"
+
+// Write serializes the benchmark to w in the text format.
+func (b *Benchmark) Write(w io.Writer) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "name %s\n", b.Name)
+	fmt.Fprintf(bw, "die %g %g %g %g\n", b.Die.X0, b.Die.Y0, b.Die.X1, b.Die.Y1)
+	fmt.Fprintf(bw, "sinks %d\n", b.NumSinks())
+	for i, p := range b.SinkLocs {
+		fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, b.SinkCaps[i])
+	}
+	fmt.Fprintf(bw, "instructions %d\n", b.ISA.NumInstr())
+	for k := 0; k < b.ISA.NumInstr(); k++ {
+		uses := b.ISA.Uses(k)
+		if len(uses) == 0 {
+			// "-" marks an instruction using no modules (blank lines are
+			// skipped by the reader).
+			fmt.Fprintln(bw, "-")
+			continue
+		}
+		parts := make([]string, len(uses))
+		for i, m := range uses {
+			parts[i] = strconv.Itoa(m)
+		}
+		fmt.Fprintln(bw, strings.Join(parts, " "))
+	}
+	fmt.Fprintf(bw, "stream %d\n", len(b.Stream))
+	for i := 0; i < len(b.Stream); i += 20 {
+		end := i + 20
+		if end > len(b.Stream) {
+			end = len(b.Stream)
+		}
+		parts := make([]string, 0, 20)
+		for _, k := range b.Stream[i:end] {
+			parts = append(parts, strconv.Itoa(k))
+		}
+		fmt.Fprintln(bw, strings.Join(parts, " "))
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Read parses a benchmark from r.
+func Read(r io.Reader) (*Benchmark, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" && !strings.HasPrefix(line, "#") {
+				return line, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	line, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if line != formatHeader {
+		return nil, fmt.Errorf("bench: bad header %q", line)
+	}
+
+	b := &Benchmark{}
+	if b.Name, err = keyword(next, "name"); err != nil {
+		return nil, err
+	}
+	dieLine, err := keyword(next, "die")
+	if err != nil {
+		return nil, err
+	}
+	dieF, err := floats(dieLine, 4)
+	if err != nil {
+		return nil, fmt.Errorf("bench: die: %w", err)
+	}
+	b.Die = geom.Rect{X0: dieF[0], Y0: dieF[1], X1: dieF[2], Y1: dieF[3]}
+
+	nSinks, err := keywordInt(next, "sinks")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nSinks; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, err
+		}
+		f, err := floats(line, 3)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sink %d: %w", i, err)
+		}
+		b.SinkLocs = append(b.SinkLocs, geom.Pt(f[0], f[1]))
+		b.SinkCaps = append(b.SinkCaps, f[2])
+	}
+
+	nInstr, err := keywordInt(next, "instructions")
+	if err != nil {
+		return nil, err
+	}
+	uses := make([][]int, nInstr)
+	for k := 0; k < nInstr; k++ {
+		line, err := next()
+		if err != nil {
+			return nil, err
+		}
+		uses[k], err = ints(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: instruction %d: %w", k, err)
+		}
+	}
+	if b.ISA, err = isa.New(nSinks, uses); err != nil {
+		return nil, err
+	}
+
+	nStream, err := keywordInt(next, "stream")
+	if err != nil {
+		return nil, err
+	}
+	for len(b.Stream) < nStream {
+		line, err := next()
+		if err != nil {
+			return nil, err
+		}
+		ks, err := ints(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: stream: %w", err)
+		}
+		b.Stream = append(b.Stream, stream.Stream(ks)...)
+	}
+	if len(b.Stream) != nStream {
+		return nil, fmt.Errorf("bench: stream has %d entries, declared %d", len(b.Stream), nStream)
+	}
+
+	if line, err := next(); err != nil || line != "end" {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("bench: expected end marker, got %q", line)
+	}
+	return b, b.Validate()
+}
+
+func keyword(next func() (string, error), key string) (string, error) {
+	line, err := next()
+	if err != nil {
+		return "", err
+	}
+	rest, ok := strings.CutPrefix(line, key+" ")
+	if !ok {
+		return "", fmt.Errorf("bench: expected %q line, got %q", key, line)
+	}
+	return strings.TrimSpace(rest), nil
+}
+
+func keywordInt(next func() (string, error), key string) (int, error) {
+	s, err := keyword(next, key)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(s)
+}
+
+func floats(line string, want int) ([]float64, error) {
+	fields := strings.Fields(line)
+	if len(fields) != want {
+		return nil, fmt.Errorf("want %d fields, got %d", want, len(fields))
+	}
+	out := make([]float64, want)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func ints(line string) ([]int, error) {
+	if line == "-" {
+		return nil, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, errors.New("empty list")
+	}
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

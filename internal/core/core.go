@@ -1,0 +1,761 @@
+// Package core implements the paper's gated clock routing algorithm
+// (PROCEDURE GatedClockRouting, §4.2): greedy bottom-up merging ordered by
+// the switched capacitance of the prospective merge (Equation 3), with
+// exact zero-skew tapping points, gate decisions made at merge time, and a
+// final top-down placement. It also implements the nearest-neighbour
+// geometric greedy of Edahiro [3], which the paper uses to build its
+// buffered baseline tree.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/activity"
+	"repro/internal/ctrl"
+	"repro/internal/dme"
+	"repro/internal/gating"
+	"repro/internal/geom"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// Method selects the merge-ordering cost of the bottom-up phase.
+type Method int
+
+// Merge-ordering methods.
+const (
+	// MinSwitchedCap merges, one pair at a time, the pair with the smallest
+	// Equation-3 switched capacitance: clock-edge SC plus the estimated
+	// controller-star SC of the two prospective gates. The paper's
+	// contribution (PROCEDURE GatedClockRouting).
+	MinSwitchedCap Method = iota
+	// NearestNeighbor is the Edahiro [3] matching heuristic used for the
+	// paper's buffered baseline: in each round every node is paired with
+	// its nearest available neighbour (shortest merging-sector distances
+	// first), halving the node count, which keeps the topology balanced.
+	NearestNeighbor
+	// GreedyDistance is the one-pair-at-a-time greedy driven by pure
+	// merging-sector distance — an ablation isolating the cost function
+	// (Eq. 3 vs. wirelength) from the merge schedule.
+	GreedyDistance
+	// MinClockCapOnly is the cost model of the paper's own prior work [4]
+	// (Oh & Pedram, ASP-DAC'98): the greedy minimizes the clock-tree
+	// switched capacitance only, ignoring the switched capacitance of the
+	// control-signal routing. The present paper's contribution over [4] is
+	// exactly the controller-star term, so this method quantifies it.
+	MinClockCapOnly
+	// ActivityDriven is the topology policy of Téllez, Farrahi and
+	// Sarrafzadeh [5] ("Activity Driven Clock Design for Low Power
+	// Circuits", ICCAD'95): merge the pair whose combined enable has the
+	// smallest signal probability, with geometry only as a tie-break. The
+	// paper's introduction criticizes [5] for ignoring "the routing of the
+	// clock tree and the control signals, the actual power dissipation and
+	// the area" — this method lets that comparison be measured.
+	ActivityDriven
+	// MeansAndMedians is the classic top-down balanced-bipartition
+	// topology (Jackson, Srinivasan & Kuh's method of means and medians):
+	// recursively split the sinks at the median of the wider axis, then
+	// solve the merges bottom-up. A geometry-only baseline with perfectly
+	// balanced depth.
+	MeansAndMedians
+)
+
+func (m Method) String() string {
+	switch m {
+	case MinSwitchedCap:
+		return "min-switched-cap"
+	case NearestNeighbor:
+		return "nearest-neighbor"
+	case GreedyDistance:
+		return "greedy-distance"
+	case MinClockCapOnly:
+		return "min-clock-cap"
+	case ActivityDriven:
+		return "activity-driven"
+	case MeansAndMedians:
+		return "means-and-medians"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// DriverMode selects what is inserted at the tops of the tree edges.
+type DriverMode int
+
+// Driver modes.
+const (
+	// GatedTree places masking AND gates according to Options.Policy; edges
+	// the policy declines are plain wires absorbed into the parent domain.
+	GatedTree DriverMode = iota
+	// BufferedTree places a free-running buffer (half an AND gate) on every
+	// edge — the paper's baseline.
+	BufferedTree
+	// BareTree places no drivers at all: a pure Tsay zero-skew wire tree.
+	BareTree
+)
+
+func (m DriverMode) String() string {
+	switch m {
+	case GatedTree:
+		return "gated"
+	case BufferedTree:
+		return "buffered"
+	case BareTree:
+		return "bare"
+	}
+	return fmt.Sprintf("DriverMode(%d)", int(m))
+}
+
+// Options configures a routing run.
+type Options struct {
+	Tech    tech.Params
+	Method  Method
+	Drivers DriverMode
+	// Policy selects which edges carry masking gates in GatedTree mode. nil
+	// applies the paper's default gate reduction sized to the instance die.
+	Policy gating.Policy
+	// Controller configures the enable star; nil means centralized at the
+	// die center.
+	Controller *ctrl.Controller
+	// BufferCap inserts a free-running buffer on any ungated edge whose
+	// subtree capacitance reaches this threshold (fF), bounding the phase
+	// delay of large gating domains without enable wiring. 0 selects a
+	// die-scaled default (4·gating.BaseCap); negative disables buffer
+	// insertion. Only meaningful for GatedTree.
+	BufferCap float64
+	// SizeDrivers selects a drive strength from Tech.DriveStrengths for
+	// every inserted gate and buffer so that its output delay stays near
+	// Tech.SizingTargetPs — the paper's "gates ... can be sized to adjust
+	// the phase delay" (§1). Off by default: the paper's experiments use
+	// unit gates.
+	SizeDrivers bool
+	// SkewBoundPs relaxes the exact zero-skew constraint to a global skew
+	// budget (ps): detour (snaking) wire is inserted only where the
+	// residual skew would exceed the budget. 0 — the paper's setting —
+	// routes exact zero skew.
+	SkewBoundPs float64
+	// Workers sets the number of goroutines used for the candidate-pair
+	// cost scans (the O(N²) part of the greedy). 0 uses GOMAXPROCS; 1
+	// forces serial execution. Results are identical regardless of the
+	// worker count.
+	Workers int
+}
+
+// Instance is one routing problem: the die, the sinks (module locations and
+// load capacitances) and the activity profile whose module i corresponds to
+// sink i.
+type Instance struct {
+	Die      geom.Rect
+	Source   geom.Point // clock source; the zero value selects the die center
+	SinkLocs []geom.Point
+	SinkCaps []float64
+	Profile  *activity.Profile // may be nil for BufferedTree/BareTree runs
+}
+
+// Validate checks the instance for structural problems.
+func (in *Instance) Validate(opts Options) error {
+	switch {
+	case len(in.SinkLocs) == 0:
+		return errors.New("core: instance has no sinks")
+	case len(in.SinkLocs) != len(in.SinkCaps):
+		return fmt.Errorf("core: %d sink locations vs %d capacitances",
+			len(in.SinkLocs), len(in.SinkCaps))
+	case in.Die.W() <= 0 || in.Die.H() <= 0:
+		return errors.New("core: empty die")
+	}
+	for i, c := range in.SinkCaps {
+		if c < 0 {
+			return fmt.Errorf("core: sink %d has negative load %v", i, c)
+		}
+	}
+	if opts.SkewBoundPs < 0 {
+		return errors.New("core: negative skew bound")
+	}
+	needProfile := opts.Drivers == GatedTree ||
+		opts.Method == MinSwitchedCap || opts.Method == MinClockCapOnly ||
+		opts.Method == ActivityDriven
+	if needProfile {
+		if in.Profile == nil {
+			return errors.New("core: gated routing requires an activity profile")
+		}
+		if in.Profile.ISA.NumModules < len(in.SinkLocs) {
+			return fmt.Errorf("core: profile covers %d modules but instance has %d sinks",
+				in.Profile.ISA.NumModules, len(in.SinkLocs))
+		}
+	}
+	return opts.Tech.Validate()
+}
+
+// Stats reports how the construction went.
+type Stats struct {
+	Merges    int // number of bottom-up merges (N−1)
+	Snakes    int // merges that required wire elongation
+	PairEvals int // candidate pair cost evaluations
+}
+
+// Route constructs a zero-skew clock tree for the instance.
+func Route(in *Instance, opts Options) (*topology.Tree, Stats, error) {
+	if err := in.Validate(opts); err != nil {
+		return nil, Stats{}, err
+	}
+	r := &router{in: in, opts: opts}
+	side := in.Die.W()
+	if in.Die.H() > side {
+		side = in.Die.H()
+	}
+	if opts.Policy == nil {
+		// The paper's recommended configuration: gate reduction sized to
+		// the instance's die.
+		r.policy = gating.DefaultReduction(opts.Tech.Gate.Cin, side)
+	} else {
+		r.policy = opts.Policy
+	}
+	switch {
+	case opts.BufferCap > 0:
+		r.bufferCap = opts.BufferCap
+	case opts.BufferCap == 0:
+		r.bufferCap = 4 * gating.BaseCap(opts.Tech.Gate.Cin, side)
+	default:
+		r.bufferCap = math.Inf(1)
+	}
+	if opts.Controller == nil {
+		r.controller = ctrl.Centralized(in.Die)
+	} else {
+		r.controller = opts.Controller
+	}
+	r.source = in.Source
+	if (r.source == geom.Point{}) {
+		r.source = in.Die.Center()
+	}
+	r.workers = opts.Workers
+	if r.workers <= 0 {
+		r.workers = runtime.GOMAXPROCS(0)
+	}
+	tree, err := r.run()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	r.stats.PairEvals = int(r.pairEvals.Load())
+	return tree, r.stats, nil
+}
+
+type router struct {
+	in         *Instance
+	opts       Options
+	policy     gating.Policy
+	controller *ctrl.Controller
+	source     geom.Point
+
+	bufferCap float64 // ungated-edge buffer-insertion threshold (fF)
+	workers   int
+
+	nextID    int
+	stats     Stats
+	pairEvals atomic.Int64
+}
+
+// parallelFor runs fn(0..n-1) across the router's workers, preserving
+// nothing but the per-index outputs fn writes; the first error wins.
+func (r *router) parallelFor(n int, fn func(i int) error) error {
+	if r.workers <= 1 || n < 64 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// cand caches a node's cheapest merge partner.
+type cand struct {
+	partner *topology.Node
+	cost    float64
+}
+
+func (r *router) run() (*topology.Tree, error) {
+	var root *topology.Node
+	var err error
+	switch r.opts.Method {
+	case NearestNeighbor:
+		root, err = r.runRounds()
+	case MeansAndMedians:
+		root, err = r.runMMM()
+	default:
+		root, err = r.runGreedy()
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.finishRoot(root)
+	tree := &topology.Tree{Root: root, Source: r.source}
+	dme.Embed(tree)
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// runRounds implements the nearest-neighbour matching schedule: rounds of
+// greedy minimum-distance matching, each round merging as many disjoint
+// nearest pairs as possible.
+func (r *router) runRounds() (*topology.Node, error) {
+	active := r.makeSinks()
+	for len(active) > 1 {
+		type pair struct {
+			a, b *topology.Node
+			d    float64
+		}
+		// Each node nominates its nearest neighbour.
+		cands := make([]pair, 0, len(active))
+		for i, n := range active {
+			var best *topology.Node
+			bestD := 0.0
+			for j, m := range active {
+				if i == j {
+					continue
+				}
+				r.pairEvals.Add(1)
+				if d := n.MS.Dist(m.MS); best == nil || d < bestD ||
+					(d == bestD && m.ID < best.ID) {
+					best, bestD = m, d
+				}
+			}
+			cands = append(cands, pair{a: n, b: best, d: bestD})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].a.ID < cands[j].a.ID
+		})
+		used := make(map[*topology.Node]bool, len(active))
+		var next []*topology.Node
+		for _, c := range cands {
+			if used[c.a] || used[c.b] {
+				continue
+			}
+			k, err := r.merge(c.a, c.b)
+			if err != nil {
+				return nil, err
+			}
+			r.stats.Merges++
+			used[c.a], used[c.b] = true, true
+			next = append(next, k)
+		}
+		for _, n := range active {
+			if !used[n] {
+				next = append(next, n)
+			}
+		}
+		active = next
+	}
+	return active[0], nil
+}
+
+// runMMM builds the topology top-down by recursive balanced bipartition at
+// the median of the wider spread axis, then solves the merges bottom-up.
+func (r *router) runMMM() (*topology.Node, error) {
+	sinks := r.makeSinks()
+	var build func(part []*topology.Node) (*topology.Node, error)
+	build = func(part []*topology.Node) (*topology.Node, error) {
+		if len(part) == 1 {
+			return part[0], nil
+		}
+		// Split at the median of the axis with the larger spread.
+		bbox := geom.BoundingRect(locsOf(part))
+		byX := bbox.W() >= bbox.H()
+		sort.Slice(part, func(i, j int) bool {
+			if byX {
+				if part[i].Loc.X != part[j].Loc.X {
+					return part[i].Loc.X < part[j].Loc.X
+				}
+				return part[i].Loc.Y < part[j].Loc.Y
+			}
+			if part[i].Loc.Y != part[j].Loc.Y {
+				return part[i].Loc.Y < part[j].Loc.Y
+			}
+			return part[i].Loc.X < part[j].Loc.X
+		})
+		mid := len(part) / 2
+		left, err := build(part[:mid])
+		if err != nil {
+			return nil, err
+		}
+		right, err := build(part[mid:])
+		if err != nil {
+			return nil, err
+		}
+		k, err := r.merge(left, right)
+		if err != nil {
+			return nil, err
+		}
+		r.stats.Merges++
+		return k, nil
+	}
+	return build(sinks)
+}
+
+func locsOf(nodes []*topology.Node) []geom.Point {
+	pts := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		pts[i] = n.Loc
+	}
+	return pts
+}
+
+// runGreedy implements the one-pair-at-a-time schedule of the paper's
+// pseudocode, ordered by pairCost (Equation 3 for MinSwitchedCap, sector
+// distance for GreedyDistance).
+func (r *router) runGreedy() (*topology.Node, error) {
+	active := r.makeSinks()
+
+	// best[n] is the cheapest partner for n among the currently active
+	// nodes; the global minimum over best is the true cheapest pair.
+	best := make(map[*topology.Node]cand, len(active))
+	initial := make([]cand, len(active))
+	if err := r.parallelFor(len(active), func(i int) error {
+		c, err := r.bestPartner(active[i], active)
+		initial[i] = c
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range active {
+		best[n] = initial[i]
+	}
+
+	for len(active) > 1 {
+		a := r.cheapest(active, best)
+		b := best[a].partner
+		k, err := r.merge(a, b)
+		if err != nil {
+			return nil, err
+		}
+		r.stats.Merges++
+
+		// Replace a, b with k in the active set.
+		out := active[:0]
+		for _, n := range active {
+			if n != a && n != b {
+				out = append(out, n)
+			}
+		}
+		active = append(out, k)
+		delete(best, a)
+		delete(best, b)
+
+		// Rescan nodes that were paired with a or b.
+		var stale []*topology.Node
+		for _, n := range active[:len(active)-1] {
+			if p := best[n].partner; p == a || p == b {
+				stale = append(stale, n)
+			}
+		}
+		rescan := make([]cand, len(stale))
+		if err := r.parallelFor(len(stale), func(i int) error {
+			c, err := r.bestPartner(stale[i], active)
+			rescan[i] = c
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		for i, n := range stale {
+			best[n] = rescan[i]
+		}
+		// Fold in k: its costs against every survivor give both its own
+		// best partner and any improvements it offers them.
+		others := active[:len(active)-1]
+		costs := make([]float64, len(others))
+		if err := r.parallelFor(len(others), func(i int) error {
+			c, err := r.pairCost(others[i], k)
+			costs[i] = c
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		ck := cand{}
+		found := false
+		for i, n := range others {
+			if !found || costs[i] < ck.cost || (costs[i] == ck.cost && n.ID < ck.partner.ID) {
+				ck = cand{partner: n, cost: costs[i]}
+				found = true
+			}
+			if costs[i] < best[n].cost {
+				best[n] = cand{partner: k, cost: costs[i]}
+			}
+		}
+		best[k] = ck
+	}
+
+	return active[0], nil
+}
+
+func (r *router) makeSinks() []*topology.Node {
+	nodes := make([]*topology.Node, len(r.in.SinkLocs))
+	for i, loc := range r.in.SinkLocs {
+		n := topology.NewSink(i, i, loc, r.in.SinkCaps[i])
+		if p := r.in.Profile; p != nil {
+			n.Instr = p.SetForModule(i)
+			n.P = p.SignalProb(n.Instr)
+			n.Ptr = p.TransProb(n.Instr)
+		}
+		nodes[i] = n
+	}
+	r.nextID = len(nodes)
+	return nodes
+}
+
+// cheapest returns the node whose cached pair is globally cheapest,
+// breaking ties by node ID for determinism.
+func (r *router) cheapest(active []*topology.Node, best map[*topology.Node]cand) *topology.Node {
+	var pick *topology.Node
+	for _, n := range active {
+		c := best[n]
+		if pick == nil || c.cost < best[pick].cost ||
+			(c.cost == best[pick].cost && n.ID < pick.ID) {
+			pick = n
+		}
+	}
+	return pick
+}
+
+func (r *router) bestPartner(n *topology.Node, active []*topology.Node) (cand, error) {
+	out := cand{cost: 0}
+	found := false
+	for _, m := range active {
+		if m == n {
+			continue
+		}
+		cost, err := r.pairCost(n, m)
+		if err != nil {
+			return cand{}, err
+		}
+		if !found || cost < out.cost || (cost == out.cost && m.ID < out.partner.ID) {
+			out = cand{partner: m, cost: cost}
+			found = true
+		}
+	}
+	return out, nil
+}
+
+// decideDrivers chooses the drivers for the two edges of a prospective
+// merge. parentP is the signal probability of the merged enable (known at
+// merge time because EN_k = EN_i ∨ EN_j).
+func (r *router) decideDrivers(a, b *topology.Node, parentP float64) (da, db *tech.Driver, ga, gb bool) {
+	switch r.opts.Drivers {
+	case BufferedTree:
+		dist := a.MS.Dist(b.MS)
+		return r.sized(&r.opts.Tech.Buffer, r.subtreeCap(a, dist/2)),
+			r.sized(&r.opts.Tech.Buffer, r.subtreeCap(b, dist/2)), false, false
+	case BareTree:
+		return nil, nil, false, false
+	}
+	dist := a.MS.Dist(b.MS)
+	if r.gateEdge(a, parentP, dist/2) {
+		da, ga = &r.opts.Tech.Gate, true
+	} else if r.subtreeCap(a, dist/2) >= r.bufferCap {
+		da = &r.opts.Tech.Buffer
+	}
+	if r.gateEdge(b, parentP, dist/2) {
+		db, gb = &r.opts.Tech.Gate, true
+	} else if r.subtreeCap(b, dist/2) >= r.bufferCap {
+		db = &r.opts.Tech.Buffer
+	}
+	da = r.sized(da, r.subtreeCap(a, dist/2))
+	db = r.sized(db, r.subtreeCap(b, dist/2))
+	return da, db, ga, gb
+}
+
+// sized upgrades a unit driver to the drive strength matching its load when
+// Options.SizeDrivers is set.
+func (r *router) sized(d *tech.Driver, load float64) *tech.Driver {
+	if d == nil || !r.opts.SizeDrivers {
+		return d
+	}
+	s := r.opts.Tech.PickStrength(*d, load)
+	if s == 1 {
+		return d
+	}
+	scaled := d.Scaled(s)
+	return &scaled
+}
+
+// subtreeCap estimates the capacitance a driver at the top of the edge
+// feeding n would have to drive.
+func (r *router) subtreeCap(n *topology.Node, estLen float64) float64 {
+	return r.opts.Tech.WireCap(estLen) + n.Cap
+}
+
+// gateEdge asks the policy whether the edge feeding n should carry a gate,
+// estimating the to-be-shielded capacitance with half the merge distance of
+// wire.
+func (r *router) gateEdge(n *topology.Node, parentP, estLen float64) bool {
+	return r.policy.Gate(gating.EdgeInfo{
+		P:          n.P,
+		Ptr:        n.Ptr,
+		ParentP:    parentP,
+		SubtreeCap: r.subtreeCap(n, estLen),
+		IsSink:     n.IsSink(),
+	})
+}
+
+// pairCost evaluates the merge-ordering cost of joining a and b.
+func (r *router) pairCost(a, b *topology.Node) (float64, error) {
+	r.pairEvals.Add(1)
+	if r.opts.Method == GreedyDistance {
+		return a.MS.Dist(b.MS), nil
+	}
+	if r.opts.Method == ActivityDriven {
+		// [5]: minimize the merged enable's activity; normalized distance
+		// breaks ties so the walk stays deterministic.
+		dieSpan := r.in.Die.W() + r.in.Die.H()
+		return r.in.Profile.SignalProbUnion(a.Instr, b.Instr) +
+			1e-6*a.MS.Dist(b.MS)/dieSpan, nil
+	}
+
+	parentP := 1.0
+	if p := r.in.Profile; p != nil {
+		parentP = p.SignalProbUnion(a.Instr, b.Instr)
+	}
+	da, db, ga, gb := r.decideDrivers(a, b, parentP)
+	m, err := dme.BoundedSkewMerge(r.opts.Tech,
+		dme.Branch{MS: a.MS, Delay: a.Delay, Spread: a.Spread, Cap: a.Cap, Driver: da},
+		dme.Branch{MS: b.MS, Delay: b.Delay, Spread: b.Spread, Cap: b.Cap, Driver: db},
+		r.opts.SkewBoundPs)
+	if err != nil {
+		return 0, err
+	}
+	sc := r.edgeSC(a, m.LenA, ga, parentP) + r.edgeSC(b, m.LenB, gb, parentP)
+	return sc, nil
+}
+
+// edgeSC is one side of Equation 3: the switched capacitance contributed by
+// the prospective edge of length l feeding node n.
+//
+// Gated edge:   (c·l + C_n)·P(EN_n) + (c_ctrl·dist(CP, mid(ms(n))) + C_g)·Ptr(EN_n)
+// Plain edge:   (c·l + C_n)·P(EN_parent)  — charged at the best bottom-up
+//
+//	estimate of the surrounding domain's activity
+//
+// Buffered edge: (c·l + C_n)·1 plus the always-switching buffer input.
+func (r *router) edgeSC(n *topology.Node, l float64, gated bool, parentP float64) float64 {
+	p := r.opts.Tech
+	wireAndAttach := p.WireCap(l) + n.AttachCap
+	if gated {
+		if r.opts.Method == MinClockCapOnly {
+			// The [4] cost model is blind to the enable star.
+			return wireAndAttach * n.P
+		}
+		star := r.controller.StarDist(n.MS.Center())
+		return wireAndAttach*n.P +
+			(p.CtrlWireCap(star)+p.Gate.Cin)*n.Ptr
+	}
+	domP := parentP
+	if r.opts.Drivers != GatedTree {
+		domP = 1
+	}
+	sc := wireAndAttach * domP
+	if r.opts.Drivers == BufferedTree {
+		sc += p.Buffer.Cin // buffer input switches with the clock, always on
+	}
+	return sc
+}
+
+// merge performs the actual zero-skew merge of a and b, installing drivers
+// and activity on the new node.
+func (r *router) merge(a, b *topology.Node) (*topology.Node, error) {
+	parentP := 1.0
+	var parentSet activity.InstrSet
+	if p := r.in.Profile; p != nil {
+		parentSet = activity.Union(a.Instr, b.Instr)
+		parentP = p.SignalProb(parentSet)
+	}
+	da, db, ga, gb := r.decideDrivers(a, b, parentP)
+	m, err := dme.BoundedSkewMerge(r.opts.Tech,
+		dme.Branch{MS: a.MS, Delay: a.Delay, Spread: a.Spread, Cap: a.Cap, Driver: da},
+		dme.Branch{MS: b.MS, Delay: b.Delay, Spread: b.Spread, Cap: b.Cap, Driver: db},
+		r.opts.SkewBoundPs)
+	if err != nil {
+		return nil, err
+	}
+	if m.Snaked {
+		r.stats.Snakes++
+	}
+
+	k := &topology.Node{
+		ID:        r.nextID,
+		SinkIndex: -1,
+		Left:      a,
+		Right:     b,
+		MS:        m.MS,
+		Delay:     m.Delay,
+		Spread:    m.Spread,
+		Cap:       m.Cap,
+		Instr:     parentSet,
+		P:         parentP,
+	}
+	r.nextID++
+	if p := r.in.Profile; p != nil {
+		k.Ptr = p.TransProb(parentSet)
+	}
+	a.Parent, b.Parent = k, k
+	a.EdgeLen, b.EdgeLen = m.LenA, m.LenB
+	a.SetDriver(da, ga)
+	b.SetDriver(db, gb)
+	k.AttachCap = r.attachContribution(a) + r.attachContribution(b)
+	return k, nil
+}
+
+// attachContribution is what the edge owned by n adds to its parent's
+// domain-attached capacitance.
+func (r *router) attachContribution(n *topology.Node) float64 {
+	if n.Driver != nil {
+		return n.Driver.Cin
+	}
+	return r.opts.Tech.WireCap(n.EdgeLen) + n.AttachCap
+}
+
+// finishRoot decides the driver on the source-to-root edge. The source
+// domain is always on (ParentP = 1).
+func (r *router) finishRoot(root *topology.Node) {
+	switch r.opts.Drivers {
+	case BufferedTree:
+		est := geom.Dist(r.source, root.MS.Nearest(r.source))
+		root.SetDriver(r.sized(&r.opts.Tech.Buffer, r.subtreeCap(root, est)), false)
+	case GatedTree:
+		est := geom.Dist(r.source, root.MS.Nearest(r.source))
+		if r.gateEdge(root, 1, est) {
+			root.SetDriver(r.sized(&r.opts.Tech.Gate, r.subtreeCap(root, est)), true)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package ctrl
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func die() geom.Rect { return geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000} }
+
+func TestCentralized(t *testing.T) {
+	c := Centralized(die())
+	if c.K() != 1 {
+		t.Fatalf("K = %d", c.K())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Centers[0]; got != geom.Pt(500, 500) {
+		t.Errorf("center = %v", got)
+	}
+	if d := c.StarDist(geom.Pt(0, 0)); d != 1000 {
+		t.Errorf("StarDist = %v, want 1000", d)
+	}
+}
+
+func TestDistributedPartitionCounts(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		c, err := Distributed(die(), k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if c.K() != k {
+			t.Fatalf("k=%d: got %d partitions", k, c.K())
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Equal areas.
+		want := 1000.0 * 1000.0 / float64(k)
+		for _, r := range c.Partitions {
+			if math.Abs(r.W()*r.H()-want) > 1e-6 {
+				t.Fatalf("k=%d: partition area %v, want %v", k, r.W()*r.H(), want)
+			}
+		}
+	}
+}
+
+func TestDistributedRejectsNonPowersOfTwo(t *testing.T) {
+	for _, k := range []int{0, -1, 3, 6, 12} {
+		if _, err := Distributed(die(), k); err == nil {
+			t.Errorf("k=%d should be rejected", k)
+		}
+	}
+}
+
+func TestAssignMatchesContainingPartition(t *testing.T) {
+	c, err := Distributed(die(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		idx := c.Assign(p)
+		if !c.Partitions[idx].Contains(p) {
+			t.Fatalf("point %v assigned to partition %d = %v not containing it", p, idx, c.Partitions[idx])
+		}
+	}
+	// Points outside the die fall back to the nearest center.
+	out := geom.Pt(-50, -50)
+	idx := c.Assign(out)
+	for i, ctr := range c.Centers {
+		if geom.Dist(out, ctr) < geom.Dist(out, c.Centers[idx])-1e-9 {
+			t.Fatalf("outside point assigned to %d but %d is closer", idx, i)
+		}
+	}
+}
+
+// TestStarDistShrinksWithK verifies the √k scaling on uniformly random gate
+// locations — the core §6 claim.
+func TestStarDistShrinksWithK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	pts := make([]geom.Point, 2000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	total := func(k int) float64 {
+		c, err := Distributed(die(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range pts {
+			sum += c.StarDist(p)
+		}
+		return sum
+	}
+	w1, w4, w16 := total(1), total(4), total(16)
+	if w4 >= w1 || w16 >= w4 {
+		t.Fatalf("star length must shrink with k: %v %v %v", w1, w4, w16)
+	}
+	// Expect ratios near √4 = 2 and √16 = 4 (±25 %).
+	if r := w1 / w4; r < 1.5 || r > 2.5 {
+		t.Errorf("w1/w4 = %v, want ≈2", r)
+	}
+	if r := w1 / w16; r < 3.0 || r > 5.0 {
+		t.Errorf("w1/w16 = %v, want ≈4", r)
+	}
+}
+
+func TestAnalyticStarLength(t *testing.T) {
+	if got := AnalyticStarLength(1000, 100, 1); got != 25000 {
+		t.Errorf("G·D/4 = %v, want 25000", got)
+	}
+	if got := AnalyticStarLength(1000, 100, 4); got != 12500 {
+		t.Errorf("G·D/(4·2) = %v, want 12500", got)
+	}
+}
+
+func TestValidateCatchesMismatch(t *testing.T) {
+	c := Centralized(die())
+	c.Centers = nil
+	if c.Validate() == nil {
+		t.Error("mismatched centers must fail")
+	}
+	c2 := Centralized(die())
+	c2.Partitions[0].X1 = 500 // half the die uncovered
+	if c2.Validate() == nil {
+		t.Error("partitions not tiling the die must fail")
+	}
+}

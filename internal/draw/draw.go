@@ -1,0 +1,192 @@
+// Package draw renders embedded clock trees as ASCII floorplans — the
+// Figure 1 view of the paper: sinks, Steiner points, masking gates, the
+// clock source and the gate controller(s), with L-shaped wire routes.
+package draw
+
+import (
+	"strings"
+
+	"repro/internal/ctrl"
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// Markers used on the canvas, in increasing paint priority.
+const (
+	blank      = ' '
+	wireH      = '-'
+	wireV      = '|'
+	wireCorner = '+'
+	steiner    = '*'
+	sink       = 'o'
+	buffer     = 'B'
+	gate       = 'G'
+	source     = 'S'
+	controller = 'C'
+)
+
+// Config sizes the canvas.
+type Config struct {
+	Width  int // characters; 0 selects 72
+	Height int // lines; 0 selects 30
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 30
+	}
+	return c
+}
+
+// canvas is a paint-priority-aware character grid.
+type canvas struct {
+	w, h  int
+	cells []rune
+	die   geom.Rect
+}
+
+func newCanvas(cfg Config, die geom.Rect) *canvas {
+	c := &canvas{w: cfg.Width, h: cfg.Height, die: die}
+	c.cells = make([]rune, c.w*c.h)
+	for i := range c.cells {
+		c.cells[i] = blank
+	}
+	return c
+}
+
+// grid maps a die coordinate to a cell.
+func (c *canvas) grid(p geom.Point) (int, int) {
+	fx := (p.X - c.die.X0) / c.die.W()
+	fy := (p.Y - c.die.Y0) / c.die.H()
+	x := int(fx * float64(c.w-1))
+	y := int((1 - fy) * float64(c.h-1)) // screen y grows downward
+	return clampInt(x, 0, c.w-1), clampInt(y, 0, c.h-1)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// paint writes r at (x, y) unless a higher-priority marker already sits
+// there.
+func (c *canvas) paint(x, y int, r rune) {
+	i := y*c.w + x
+	if priority(r) >= priority(c.cells[i]) {
+		c.cells[i] = r
+	}
+}
+
+func priority(r rune) int {
+	switch r {
+	case blank:
+		return 0
+	case wireH, wireV:
+		return 1
+	case wireCorner:
+		return 2
+	case steiner:
+		return 3
+	case sink:
+		return 4
+	case buffer:
+		return 5
+	case gate:
+		return 6
+	case source:
+		return 7
+	case controller:
+		return 8
+	}
+	return 0
+}
+
+// route paints an L-shaped (horizontal-then-vertical) connection.
+func (c *canvas) route(a, b geom.Point) {
+	ax, ay := c.grid(a)
+	bx, by := c.grid(b)
+	for x := min(ax, bx); x <= max(ax, bx); x++ {
+		c.paint(x, ay, wireH)
+	}
+	for y := min(ay, by); y <= max(ay, by); y++ {
+		c.paint(bx, y, wireV)
+	}
+	if ax != bx && ay != by {
+		c.paint(bx, ay, wireCorner)
+	}
+}
+
+func (c *canvas) String() string {
+	var sb strings.Builder
+	border := "+" + strings.Repeat("-", c.w) + "+\n"
+	sb.WriteString(border)
+	for y := 0; y < c.h; y++ {
+		sb.WriteByte('|')
+		sb.WriteString(string(c.cells[y*c.w : (y+1)*c.w]))
+		sb.WriteString("|\n")
+	}
+	sb.WriteString(border)
+	return sb.String()
+}
+
+// Tree renders the embedded clock tree within its die outline. ctl may be
+// nil; when given, controller locations are marked 'C'.
+//
+// Legend: o sink, * Steiner point, G masking gate, B buffer, S clock
+// source, C gate controller; wires are drawn as L-routes.
+func Tree(t *topology.Tree, die geom.Rect, ctl *ctrl.Controller, cfg Config) string {
+	cfg = cfg.withDefaults()
+	c := newCanvas(cfg, die)
+
+	// Wires first (lowest priority): parent→child L-routes plus the source
+	// feed.
+	c.route(t.Source, t.Root.Loc)
+	t.Root.PreOrder(func(n *topology.Node) {
+		if n.Parent != nil {
+			c.route(n.Parent.Loc, n.Loc)
+		}
+	})
+
+	// Nodes and drivers.
+	t.Root.PreOrder(func(n *topology.Node) {
+		x, y := c.grid(n.Loc)
+		switch {
+		case n.IsSink():
+			c.paint(x, y, sink)
+		default:
+			c.paint(x, y, steiner)
+		}
+		if n.Driver != nil {
+			// The driver sits at the top of the edge: at the parent (or
+			// the source, for the root edge).
+			loc := t.Source
+			if n.Parent != nil {
+				loc = n.Parent.Loc
+			}
+			dx, dy := c.grid(loc)
+			if n.Gated() {
+				c.paint(dx, dy, gate)
+			} else {
+				c.paint(dx, dy, buffer)
+			}
+		}
+	})
+
+	sx, sy := c.grid(t.Source)
+	c.paint(sx, sy, source)
+	if ctl != nil {
+		for _, ctr := range ctl.Centers {
+			x, y := c.grid(ctr)
+			c.paint(x, y, controller)
+		}
+	}
+	return c.String() + "legend: o sink  * steiner  G gate  B buffer  S source  C controller\n"
+}

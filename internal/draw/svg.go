@@ -1,0 +1,107 @@
+// SVG export: the same floorplan view as the ASCII renderer, as a scalable
+// vector image suitable for papers and documentation.
+package draw
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctrl"
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// SVGConfig sizes the image.
+type SVGConfig struct {
+	Width int // pixels; 0 selects 800 (height follows the die aspect ratio)
+}
+
+// SVG renders the embedded clock tree as an SVG document. Wires are drawn
+// as L-routes; sinks, Steiner points, gates, buffers, the source and the
+// controller(s) get distinct marks. ctl may be nil.
+func SVG(t *topology.Tree, die geom.Rect, ctl *ctrl.Controller, cfg SVGConfig) string {
+	w := cfg.Width
+	if w <= 0 {
+		w = 800
+	}
+	h := int(float64(w) * die.H() / die.W())
+	sx := func(p geom.Point) float64 { return (p.X - die.X0) / die.W() * float64(w) }
+	sy := func(p geom.Point) float64 { return (1 - (p.Y-die.Y0)/die.H()) * float64(h) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<style>
+.wire{stroke:#4477aa;stroke-width:1;fill:none}
+.star{stroke:#cc6677;stroke-width:0.5;fill:none;stroke-dasharray:3 3}
+.sink{fill:#222222}
+.steiner{fill:#4477aa}
+.gate{fill:#cc3311}
+.buffer{fill:#ee7733}
+.source{fill:#117733}
+.controller{fill:#aa3377}
+.die{stroke:#999999;fill:none}
+</style>
+`)
+	fmt.Fprintf(&b, `<rect class="die" x="0" y="0" width="%d" height="%d"/>`+"\n", w, h)
+
+	route := func(class string, a, p geom.Point) {
+		fmt.Fprintf(&b, `<polyline class="%s" points="%.1f,%.1f %.1f,%.1f %.1f,%.1f"/>`+"\n",
+			class, sx(a), sy(a), sx(p), sy(a), sx(p), sy(p))
+	}
+
+	// Clock wires.
+	route("wire", t.Source, t.Root.Loc)
+	t.Root.PreOrder(func(n *topology.Node) {
+		if n.Parent != nil {
+			route("wire", n.Parent.Loc, n.Loc)
+		}
+	})
+
+	// Enable star nets (dashed), one per gate, to its controller.
+	if ctl != nil {
+		t.Root.PreOrder(func(n *topology.Node) {
+			if !n.Gated() {
+				return
+			}
+			loc := t.Source
+			if n.Parent != nil {
+				loc = n.Parent.Loc
+			}
+			route("star", ctl.Centers[ctl.Assign(loc)], loc)
+		})
+	}
+
+	// Marks, drawn over the wires.
+	t.Root.PreOrder(func(n *topology.Node) {
+		if n.IsSink() {
+			fmt.Fprintf(&b, `<circle class="sink" cx="%.1f" cy="%.1f" r="2.5"><title>sink M%d (P=%.2f)</title></circle>`+"\n",
+				sx(n.Loc), sy(n.Loc), n.SinkIndex+1, n.P)
+		} else {
+			fmt.Fprintf(&b, `<circle class="steiner" cx="%.1f" cy="%.1f" r="1.5"/>`+"\n", sx(n.Loc), sy(n.Loc))
+		}
+		if n.Driver != nil {
+			loc := t.Source
+			if n.Parent != nil {
+				loc = n.Parent.Loc
+			}
+			class := "buffer"
+			title := n.Driver.Name
+			if n.Gated() {
+				class = "gate"
+				title = fmt.Sprintf("gate P=%.2f Ptr=%.2f", n.P, n.Ptr)
+			}
+			fmt.Fprintf(&b, `<rect class="%s" x="%.1f" y="%.1f" width="5" height="5"><title>%s</title></rect>`+"\n",
+				class, sx(loc)-2.5, sy(loc)-2.5, title)
+		}
+	})
+	fmt.Fprintf(&b, `<circle class="source" cx="%.1f" cy="%.1f" r="5"><title>clock source</title></circle>`+"\n",
+		sx(t.Source), sy(t.Source))
+	if ctl != nil {
+		for i, c := range ctl.Centers {
+			fmt.Fprintf(&b, `<rect class="controller" x="%.1f" y="%.1f" width="8" height="8"><title>controller %d</title></rect>`+"\n",
+				sx(c)-4, sy(c)-4, i)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

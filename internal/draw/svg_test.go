@@ -1,0 +1,61 @@
+package draw
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/ctrl"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	tr, die := testTree()
+	out := SVG(tr, die, ctrl.Centralized(die), SVGConfig{Width: 400})
+
+	// The document must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	// Two sinks, one gate rect, one buffer rect, source, controller.
+	counts := map[string]int{}
+	for _, class := range []string{"sink", "steiner", "gate", "buffer", "source", "controller", "wire", "star"} {
+		counts[class] = strings.Count(out, `class="`+class+`"`)
+	}
+	if counts["sink"] != 2 {
+		t.Errorf("sinks = %d", counts["sink"])
+	}
+	if counts["steiner"] != 1 {
+		t.Errorf("steiners = %d", counts["steiner"])
+	}
+	if counts["gate"] != 1 || counts["buffer"] != 1 {
+		t.Errorf("drivers = %d gates, %d buffers", counts["gate"], counts["buffer"])
+	}
+	if counts["source"] != 1 || counts["controller"] != 1 {
+		t.Errorf("source/controller = %d/%d", counts["source"], counts["controller"])
+	}
+	// Wires: source→root, root→two sinks = 3 polylines; one star net.
+	if counts["wire"] != 3 {
+		t.Errorf("wires = %d, want 3", counts["wire"])
+	}
+	if counts["star"] != 1 {
+		t.Errorf("star nets = %d, want 1", counts["star"])
+	}
+}
+
+func TestSVGWithoutController(t *testing.T) {
+	tr, die := testTree()
+	out := SVG(tr, die, nil, SVGConfig{})
+	if strings.Contains(out, `class="star"`) || strings.Contains(out, `class="controller"`) {
+		t.Error("no controller → no star nets or controller marks")
+	}
+	if !strings.Contains(out, `width="800"`) {
+		t.Error("default width must be 800")
+	}
+}

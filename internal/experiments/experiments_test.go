@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWorkedExampleMatchesPaper(t *testing.T) {
+	ex, err := RunWorkedExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex.PM1-0.75) > 1e-12 {
+		t.Errorf("P(M1) = %v, want 0.75", ex.PM1)
+	}
+	if math.Abs(ex.PEN56-0.55) > 1e-12 {
+		t.Errorf("P(EN{M5,M6}) = %v, want 0.55", ex.PEN56)
+	}
+	if math.Abs(ex.PairI1I3-3.0/19) > 1e-12 {
+		t.Errorf("P(I1→I3) = %v, want 3/19", ex.PairI1I3)
+	}
+	var sb strings.Builder
+	PrintWorkedExample(&sb, ex)
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "0.750", "0.550"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("printout missing %q", want)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := RunTable4([]string{"r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Sinks != 267 || r.Instr != 16 || r.Cycles != 4000 {
+		t.Errorf("r1 row wrong: %+v", r)
+	}
+	// Table 4's headline: about 40 % of the modules are active on average.
+	if math.Abs(r.AvgUsage-0.40) > 0.02 || math.Abs(r.AvgActivity-0.40) > 0.05 {
+		t.Errorf("activity calibration off: %+v", r)
+	}
+	var sb strings.Builder
+	PrintTable4(&sb, rows)
+	if !strings.Contains(sb.String(), "267") {
+		t.Error("printout missing sink count")
+	}
+}
+
+// TestFig3Shape asserts the qualitative Figure 3 result on r1: gated-all is
+// worse than buffered; gate reduction is at least 15 % better; areas order
+// buffered < gated-reduced < gated-all.
+func TestFig3Shape(t *testing.T) {
+	rows, err := RunFig3([]string{"r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.GatedVsBuffered() <= 0 {
+		t.Errorf("gated-all should exceed buffered SC: %+v", r.GatedVsBuffered())
+	}
+	if r.RedVsBuffered() > -0.15 {
+		t.Errorf("gate reduction should save ≥15%%: %v", r.RedVsBuffered())
+	}
+	if !(r.Buffered.TotalArea < r.GatedRed.TotalArea && r.GatedRed.TotalArea < r.Gated.TotalArea) {
+		t.Errorf("area ordering wrong: %v %v %v",
+			r.Buffered.TotalArea, r.GatedRed.TotalArea, r.Gated.TotalArea)
+	}
+	// All three trees must be zero-skew.
+	for _, rep := range []struct {
+		name string
+		skew float64
+		max  float64
+	}{
+		{"buffered", r.Buffered.SkewPs, r.Buffered.MaxDelayPs},
+		{"gated", r.Gated.SkewPs, r.Gated.MaxDelayPs},
+		{"gated-red", r.GatedRed.SkewPs, r.GatedRed.MaxDelayPs},
+	} {
+		if rep.skew > 1e-6*(1+rep.max) {
+			t.Errorf("%s skew %v ps", rep.name, rep.skew)
+		}
+	}
+	var sb strings.Builder
+	PrintFig3(&sb, rows)
+	if !strings.Contains(sb.String(), "Figure 3a") || !strings.Contains(sb.String(), "Figure 3b") {
+		t.Error("printout incomplete")
+	}
+}
+
+// TestFig4Shape: the gated advantage must shrink as activity rises, and the
+// gated tree's SC must stay at or above its activity share of the ungated
+// tree.
+func TestFig4Shape(t *testing.T) {
+	rows, err := RunFig4("r1", []float64{0.1, 0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	lo, mid, hi := rows[0], rows[1], rows[2]
+	if !(lo.AvgActivity < mid.AvgActivity && mid.AvgActivity < hi.AvgActivity) {
+		t.Fatalf("activity not increasing: %v %v %v", lo.AvgActivity, mid.AvgActivity, hi.AvgActivity)
+	}
+	gain := func(r Fig4Row) float64 { return 1 - r.GatedRedSC/r.BufferedSC }
+	if !(gain(lo) > gain(mid) && gain(mid) > gain(hi)) {
+		t.Errorf("gated benefit must shrink with activity: %v %v %v", gain(lo), gain(mid), gain(hi))
+	}
+	for _, r := range rows {
+		// §5.2: gated power is at least the activity share of ungated
+		// (small slack for the sink-activity vs module-activity spread).
+		if ratio := r.GatedRedSC / r.UngatedSC; ratio < r.AvgActivity-0.12 {
+			t.Errorf("activity %v: gated/ungated %v below bound", r.AvgActivity, ratio)
+		}
+	}
+}
+
+// TestFig5Shape: reduction grows along the sweep, the endpoints bracket an
+// interior optimum, and the controller-tree SC falls monotonically.
+func TestFig5Shape(t *testing.T) {
+	rows, err := RunFig5("r1", []float64{0, 0.2, 0.4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Reduction < rows[i-1].Reduction-1e-9 {
+			t.Errorf("reduction not monotone at θ=%v", rows[i].Theta)
+		}
+		if rows[i].CtrlSC > rows[i-1].CtrlSC+1e-9 {
+			t.Errorf("controller SC must fall with reduction at θ=%v", rows[i].Theta)
+		}
+	}
+	if rows[0].Reduction != 0 {
+		t.Errorf("θ=0 must keep all gates, reduction %v", rows[0].Reduction)
+	}
+	opt := OptimalFig5(rows)
+	if opt.TotalSC >= rows[0].TotalSC || opt.TotalSC >= rows[len(rows)-1].TotalSC {
+		t.Errorf("no interior optimum: %v vs endpoints %v, %v",
+			opt.TotalSC, rows[0].TotalSC, rows[len(rows)-1].TotalSC)
+	}
+}
+
+// TestFig6Shape: star wirelength falls with k and tracks the analytic 1/√k
+// model within a factor.
+func TestFig6Shape(t *testing.T) {
+	rows, err := RunFig6("r1", []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].StarWL >= rows[0].StarWL || rows[2].StarWL >= rows[1].StarWL {
+		t.Errorf("star wirelength must fall with k: %v %v %v",
+			rows[0].StarWL, rows[1].StarWL, rows[2].StarWL)
+	}
+	ratio := rows[0].StarWL / rows[2].StarWL // analytic: √16 = 4
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("k=16 shrink factor %v, want ≈4", ratio)
+	}
+}
+
+func TestComplexityRows(t *testing.T) {
+	rows, err := RunComplexity([]string{"r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Merges != 266 {
+		t.Errorf("merges = %d, want N−1 = 266", r.Merges)
+	}
+	if r.PairEvals < 267*266/2 {
+		t.Errorf("pair evals %d implausibly low", r.PairEvals)
+	}
+	// O(N²) with a modest constant.
+	if f := float64(r.PairEvals) / float64(267*267); f > 20 {
+		t.Errorf("pair evals per N² = %v, not bounded", f)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rows, err := RunAblation("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The paper's cost function should win its own game.
+	minSC := rows[0]
+	if minSC.Variant != "min-SC greedy (paper)" {
+		t.Fatalf("unexpected row order: %v", rows)
+	}
+	for _, r := range rows[1:] {
+		if r.Variant == "min-SC, sized gates" {
+			continue // sizing trades SC for delay by design
+		}
+		if r.Variant == "activity-driven [5]" || r.Variant == "means-and-medians" {
+			continue // alternate topologies may lose badly; shape only
+		}
+		if minSC.TotalSC > r.TotalSC*1.02 {
+			t.Errorf("min-SC (%v) lost to %s (%v)", minSC.TotalSC, r.Variant, r.TotalSC)
+		}
+	}
+}
+
+func TestDefaultSweepPoints(t *testing.T) {
+	if len(DefaultFig4Usages()) < 5 || len(DefaultFig5Thetas()) < 5 || len(DefaultFig6Ks()) < 3 {
+		t.Error("default sweeps too small")
+	}
+	for _, k := range DefaultFig6Ks() {
+		if k&(k-1) != 0 {
+			t.Errorf("k=%d is not a power of two", k)
+		}
+	}
+}
+
+// TestAnalytic: routing under the exact chain profile must agree with the
+// sampled-stream profile within sampling noise.
+func TestAnalytic(t *testing.T) {
+	rows, err := RunAnalytic("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	sampled, exact := rows[0], rows[1]
+	if rel := math.Abs(sampled.TotalSC-exact.TotalSC) / exact.TotalSC; rel > 0.10 {
+		t.Errorf("sampled SC %v vs analytic %v: %.1f%% apart", sampled.TotalSC, exact.TotalSC, rel*100)
+	}
+}
+
+// TestSkewSweep: verified skew must respect each budget and wirelength must
+// not grow as the budget loosens.
+func TestSkewSweep(t *testing.T) {
+	rows, err := RunSkewSweep("r1", []float64{0, 50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.VerifiedSkew > r.BudgetPs+1e-6 {
+			t.Errorf("budget %v: verified skew %v", r.BudgetPs, r.VerifiedSkew)
+		}
+	}
+	// The greedy re-plans per budget so wirelength is not strictly
+	// monotone point-to-point, but a generous budget must save wire
+	// overall versus exact zero skew.
+	if last := rows[len(rows)-1]; last.Wirelength >= rows[0].Wirelength {
+		t.Errorf("a 200 ps budget should save wire: %v vs %v", last.Wirelength, rows[0].Wirelength)
+	}
+}
+
+// TestRegate: the optimizer must never worsen the heuristic assignment,
+// and the heuristic should already be within a modest factor of the greedy
+// local optimum.
+func TestRegate(t *testing.T) {
+	rows, err := RunRegate("r1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	heur, opt := rows[0], rows[1]
+	if opt.TotalSC > heur.TotalSC+1e-9 {
+		t.Errorf("optimizer worsened SC: %v from %v", opt.TotalSC, heur.TotalSC)
+	}
+	if heur.TotalSC > opt.TotalSC*1.25 {
+		t.Errorf("heuristic %v too far above optimum %v", heur.TotalSC, opt.TotalSC)
+	}
+}
+
+// TestCorners: the gated tree's win and (ratio-driven) zero skew must hold
+// on every process corner.
+func TestCorners(t *testing.T) {
+	rows, err := RunCorners("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d corners", len(rows))
+	}
+	for _, r := range rows {
+		if r.RedVsBuf >= 0 {
+			t.Errorf("corner %s: gated tree lost its advantage (%v)", r.Corner, r.RedVsBuf)
+		}
+		// Non-uniform derating induces corner skew; it must stay a small
+		// fraction of the phase delay (nominal corner: numerically zero).
+		if r.GatedSkewPs > 0.05*r.GatedDelayPs {
+			t.Errorf("corner %s: skew %v vs delay %v", r.Corner, r.GatedSkewPs, r.GatedDelayPs)
+		}
+	}
+	if rows[1].GatedSkewPs > 1e-6 {
+		t.Errorf("nominal corner must be zero skew, got %v", rows[1].GatedSkewPs)
+	}
+}

@@ -1,0 +1,148 @@
+package gating
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllAndNone(t *testing.T) {
+	e := EdgeInfo{P: 0.99, SubtreeCap: 1}
+	if !(All{}).Gate(e) {
+		t.Error("All must always gate")
+	}
+	if (None{}).Gate(e) {
+		t.Error("None must never gate")
+	}
+}
+
+func TestReductionRules(t *testing.T) {
+	r := Reduction{MaxActivity: 0.9, MinCap: 100, ParentSlack: 0.05, ForceCap: 1000}
+	base := EdgeInfo{P: 0.5, ParentP: 0.8, SubtreeCap: 500}
+
+	if !r.Gate(base) {
+		t.Error("nominal edge should be gated")
+	}
+
+	// Rule 1: high activity.
+	e := base
+	e.P = 0.95
+	if r.Gate(e) {
+		t.Error("rule 1: P ≥ MaxActivity must remove the gate")
+	}
+	// Rule 2: tiny capacitance.
+	e = base
+	e.SubtreeCap = 50
+	if r.Gate(e) {
+		t.Error("rule 2: small subtree cap must remove the gate")
+	}
+	// Rule 3: parent similarity.
+	e = base
+	e.ParentP = 0.52
+	if r.Gate(e) {
+		t.Error("rule 3: similar parent activity must remove the gate")
+	}
+	// Forced insertion overrides every rule.
+	e = EdgeInfo{P: 0.99, ParentP: 0.99, SubtreeCap: 1500}
+	if !r.Gate(e) {
+		t.Error("forced insertion must override removal rules")
+	}
+	// ForceCap = 0 disables forcing.
+	r0 := r
+	r0.ForceCap = 0
+	if r0.Gate(e) {
+		t.Error("with forcing disabled, rule 1 should remove this gate")
+	}
+}
+
+func TestReductionValidate(t *testing.T) {
+	good := DefaultReduction(30, 8000)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default reduction invalid: %v", err)
+	}
+	bad := []Reduction{
+		{MaxActivity: -0.1},
+		{MaxActivity: 1.5},
+		{MaxActivity: 0.5, MinCap: -1},
+		{MaxActivity: 0.5, ForceCap: -1},
+		{MaxActivity: 0.5, MinCap: 100, ForceCap: 50},
+	}
+	for _, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("%+v should fail validation", r)
+		}
+	}
+}
+
+func TestBaseCap(t *testing.T) {
+	// Small die: gate-cap floor dominates.
+	if got := BaseCap(30, 100); got != 60 {
+		t.Errorf("BaseCap floor = %v, want 60", got)
+	}
+	// Large die: linear scaling.
+	if got := BaseCap(30, 10000); got != 220 {
+		t.Errorf("BaseCap(10000) = %v, want 220", got)
+	}
+}
+
+func TestSweepEndpoints(t *testing.T) {
+	// θ = 0 keeps every gate regardless of edge parameters.
+	r0 := Sweep(0, 30, 8000)
+	f := func(p, parentP, cap float64) bool {
+		e := EdgeInfo{P: clamp01(p), ParentP: clamp01(parentP), SubtreeCap: abs(cap)}
+		return r0.Gate(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("Sweep(0) must gate everything: %v", err)
+	}
+	// θ = 1 strips everything below the force threshold.
+	r1 := Sweep(1, 30, 8000)
+	if r1.Gate(EdgeInfo{P: 0.2, ParentP: 0.9, SubtreeCap: 500}) {
+		t.Error("Sweep(1) must remove ordinary gates")
+	}
+	if !r1.Gate(EdgeInfo{P: 0.2, ParentP: 0.9, SubtreeCap: r1.ForceCap + 1}) {
+		t.Error("Sweep(1) must still force gates above ForceCap")
+	}
+	// Out-of-range θ clamps.
+	if Sweep(-5, 30, 8000) != Sweep(0, 30, 8000) {
+		t.Error("negative θ must clamp to 0")
+	}
+	if Sweep(5, 30, 8000) != Sweep(1, 30, 8000) {
+		t.Error("θ > 1 must clamp to 1")
+	}
+}
+
+// TestSweepMonotone: raising θ never adds a gate to an edge a smaller θ
+// already removed.
+func TestSweepMonotone(t *testing.T) {
+	edges := []EdgeInfo{
+		{P: 0.3, ParentP: 0.7, SubtreeCap: 300},
+		{P: 0.6, ParentP: 0.9, SubtreeCap: 800},
+		{P: 0.1, ParentP: 0.2, SubtreeCap: 150},
+		{P: 0.8, ParentP: 0.85, SubtreeCap: 2000},
+	}
+	for _, e := range edges {
+		prev := true
+		for theta := 0.0; theta <= 1.0; theta += 0.05 {
+			got := Sweep(theta, 30, 8000).Gate(e)
+			if got && !prev {
+				t.Fatalf("edge %+v re-gated at θ=%v", e, theta)
+			}
+			prev = got
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	v = abs(v)
+	for v > 1 {
+		v /= 10
+	}
+	return v
+}
+
+func abs(v float64) float64 {
+	if v < 0 || v != v { // negatives and NaN
+		return 1
+	}
+	return v
+}

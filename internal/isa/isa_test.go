@@ -1,0 +1,214 @@
+package isa
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, [][]int{{0}}); err == nil {
+		t.Error("zero modules should fail")
+	}
+	if _, err := New(4, nil); err == nil {
+		t.Error("zero instructions should fail")
+	}
+	if _, err := New(4, [][]int{{4}}); err == nil {
+		t.Error("out-of-range module should fail")
+	}
+	if _, err := New(4, [][]int{{-1}}); err == nil {
+		t.Error("negative module should fail")
+	}
+	d, err := New(4, [][]int{{0, 1, 1, 0}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Uses(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("duplicates must collapse, got %v", got)
+	}
+	if len(d.Uses(1)) != 0 {
+		t.Error("empty instruction allowed but must stay empty")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	d := PaperExample()
+	if d.NumInstr() != 4 || d.NumModules != 6 {
+		t.Fatalf("paper example has wrong shape: %d instr, %d modules", d.NumInstr(), d.NumModules)
+	}
+	// Table 1: I1:{M1,M2,M3,M5} I2:{M1,M4} I3:{M2,M5,M6} I4:{M3,M4}.
+	wants := [][]int{{0, 1, 2, 4}, {0, 3}, {1, 4, 5}, {2, 3}}
+	for k, want := range wants {
+		got := d.Uses(k)
+		if len(got) != len(want) {
+			t.Fatalf("I%d uses %v, want %v", k+1, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("I%d uses %v, want %v", k+1, got, want)
+			}
+		}
+	}
+	if !d.UsesModule(0, 4) || d.UsesModule(1, 5) {
+		t.Error("UsesModule disagrees with Table 1")
+	}
+	if d.Name(2) != "I3" {
+		t.Errorf("Name(2) = %q", d.Name(2))
+	}
+}
+
+func TestUsesAny(t *testing.T) {
+	d := PaperExample()
+	m56 := NewBitset(6)
+	m56.Set(4)
+	m56.Set(5)
+	// Only I1 (M5) and I3 (M5, M6) touch {M5, M6}.
+	want := []bool{true, false, true, false}
+	for k, w := range want {
+		if got := d.UsesAny(k, m56); got != w {
+			t.Errorf("UsesAny(I%d, {M5,M6}) = %v, want %v", k+1, got, w)
+		}
+	}
+}
+
+func TestAvgUsage(t *testing.T) {
+	d := PaperExample()
+	// (4+2+3+2) / (4·6) = 11/24.
+	want := 11.0 / 24.0
+	if got := d.AvgUsage(); got != want {
+		t.Errorf("AvgUsage = %v, want %v", got, want)
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Has(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	c := b.Clone()
+	c.Set(100)
+	if b.Has(100) {
+		t.Error("Clone must not alias")
+	}
+	o := NewBitset(130)
+	o.Set(5)
+	if b.Intersects(o) {
+		t.Error("disjoint sets must not intersect")
+	}
+	o.Set(64)
+	if !b.Intersects(o) {
+		t.Error("sets sharing bit 64 must intersect")
+	}
+	b.Or(o)
+	if !b.Has(5) || b.Count() != 5 {
+		t.Errorf("Or failed: count %d", b.Count())
+	}
+}
+
+func TestBitsetProperties(t *testing.T) {
+	f := func(xs []uint8) bool {
+		b := NewBitset(256)
+		seen := map[int]bool{}
+		for _, x := range xs {
+			b.Set(int(x))
+			seen[int(x)] = true
+		}
+		if b.Count() != len(seen) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if b.Has(i) != seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	cfg := GenConfig{NumModules: 200, NumInstr: 16, Usage: 0.4, Scatter: 0.2}
+	d, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumInstr() != 16 || d.NumModules != 200 {
+		t.Fatalf("wrong shape: %d×%d", d.NumInstr(), d.NumModules)
+	}
+	// Every instruction hits the usage target exactly (the generator fills
+	// to `per` members).
+	for k := 0; k < d.NumInstr(); k++ {
+		if got := len(d.Uses(k)); got != 80 {
+			t.Errorf("I%d uses %d modules, want 80", k+1, got)
+		}
+	}
+	if got := d.AvgUsage(); got != 0.4 {
+		t.Errorf("AvgUsage = %v, want 0.4", got)
+	}
+	// Spatial locality: adjacent instructions overlap much more than distant
+	// ones on average.
+	overlap := func(a, b int) int {
+		n := 0
+		for _, m := range d.Uses(a) {
+			if d.UsesModule(b, m) {
+				n++
+			}
+		}
+		return n
+	}
+	adj, far := 0, 0
+	for k := 0; k < d.NumInstr(); k++ {
+		adj += overlap(k, (k+1)%16)
+		far += overlap(k, (k+8)%16)
+	}
+	if adj <= far {
+		t.Errorf("adjacent overlap %d should exceed distant overlap %d", adj, far)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	bad := []GenConfig{
+		{NumModules: 0, NumInstr: 4, Usage: 0.4},
+		{NumModules: 4, NumInstr: 0, Usage: 0.4},
+		{NumModules: 4, NumInstr: 4, Usage: 0},
+		{NumModules: 4, NumInstr: 4, Usage: 1.5},
+		{NumModules: 4, NumInstr: 4, Usage: 0.4, Scatter: -0.1},
+		{NumModules: 4, NumInstr: 4, Usage: 0.4, Scatter: 1.1},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg, rng); err == nil {
+			t.Errorf("config %+v should fail validation", cfg)
+		}
+	}
+}
+
+func TestGenerateTinyISA(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	d, err := Generate(GenConfig{NumModules: 1, NumInstr: 1, Usage: 0.01}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Uses(0)) != 1 {
+		t.Error("usage must round up to at least one module")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := PaperExample().String()
+	for _, want := range []string{"I1", "M5", "4 instructions", "6 modules"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

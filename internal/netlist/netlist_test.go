@@ -1,0 +1,208 @@
+package netlist
+
+import (
+	"math/rand/v2"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/core"
+	"repro/internal/gating"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/stream"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func routedTree(t *testing.T, n int, policy gating.Policy) (*topology.Tree, *isa.Description) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, 3))
+	in := &core.Instance{Die: geom.Rect{X0: 0, Y0: 0, X1: 3000, Y1: 3000}}
+	for i := 0; i < n; i++ {
+		in.SinkLocs = append(in.SinkLocs, geom.Pt(rng.Float64()*3000, rng.Float64()*3000))
+		in.SinkCaps = append(in.SinkCaps, 20+rng.Float64()*60)
+	}
+	d, err := isa.Generate(isa.GenConfig{NumModules: n, NumInstr: 6, Usage: 0.4, Scatter: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.DefaultMarkov().Generate(d, 800, rng)
+	in.Profile, err = activity.NewProfile(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _, err := core.Route(in, core.Options{
+		Tech: tech.Default(), Method: core.MinSwitchedCap, Drivers: core.GatedTree, Policy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, d
+}
+
+func TestVerilogGatedTree(t *testing.T) {
+	tree, d := routedTree(t, 12, gating.All{})
+	var sb strings.Builder
+	if err := Verilog(&sb, tree, Options{NumInstr: d.NumInstr()}); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+
+	// One gate instance per gated edge (gating.All → every edge, 2N−1).
+	if got := strings.Count(v, "clkgate_and2 g_"); got != 2*12-1 {
+		t.Errorf("%d gate instances, want %d", got, 2*12-1)
+	}
+	// One module_clk assignment per sink, each exactly once.
+	for i := 0; i < 12; i++ {
+		want := "assign module_clk[" + strconv.Itoa(i) + "] ="
+		if strings.Count(v, want) != 1 {
+			t.Errorf("sink %d clock assigned %d times", i, strings.Count(v, want))
+		}
+	}
+	// Ports and primitives present.
+	for _, want := range []string{
+		"module gated_clock_tree", "input  wire clk", "input  wire [5:0] instr",
+		"output wire [11:0] module_clk", "module clkgate_and2", "module clkbuf", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("netlist missing %q", want)
+		}
+	}
+	// Every used net is declared exactly once.
+	decl := regexp.MustCompile(`wire (net_\d+);`)
+	names := map[string]int{}
+	for _, m := range decl.FindAllStringSubmatch(v, -1) {
+		names[m[1]]++
+	}
+	for name, c := range names {
+		if c != 1 {
+			t.Errorf("net %s declared %d times", name, c)
+		}
+	}
+	if len(names) == 0 {
+		t.Error("no nets declared")
+	}
+}
+
+// TestVerilogEnableExpressions: each emitted enable must OR exactly the
+// instructions in the gate's instruction set.
+func TestVerilogEnableExpressions(t *testing.T) {
+	tree, d := routedTree(t, 8, gating.All{})
+	var sb strings.Builder
+	if err := Verilog(&sb, tree, Options{NumInstr: d.NumInstr()}); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	assignRe := regexp.MustCompile(`assign en_(\d+) = ([^;]+);`)
+	exprs := map[int]string{}
+	for _, m := range assignRe.FindAllStringSubmatch(v, -1) {
+		id, _ := strconv.Atoi(m[1])
+		exprs[id] = m[2]
+	}
+	checked := 0
+	tree.Root.PreOrder(func(n *topology.Node) {
+		if !n.Gated() {
+			return
+		}
+		expr, ok := exprs[n.ID]
+		if !ok {
+			t.Errorf("gate %d has no enable assignment", n.ID)
+			return
+		}
+		for k := 0; k < d.NumInstr(); k++ {
+			term := "instr[" + strconv.Itoa(k) + "]"
+			if n.Instr.Has(k) != strings.Contains(expr, term) {
+				t.Errorf("gate %d: term %s mismatch in %q", n.ID, term, expr)
+			}
+		}
+		checked++
+	})
+	if checked == 0 {
+		t.Fatal("no gates checked")
+	}
+}
+
+func TestVerilogUngatedTreeNeedsNoInstrBus(t *testing.T) {
+	tree, _ := routedTree(t, 6, gating.None{})
+	var sb strings.Builder
+	if err := Verilog(&sb, tree, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "instr") {
+		t.Error("ungated tree must not expose an instruction bus")
+	}
+}
+
+func TestVerilogValidation(t *testing.T) {
+	tree, _ := routedTree(t, 6, gating.All{})
+	var sb strings.Builder
+	if err := Verilog(&sb, tree, Options{}); err == nil {
+		t.Error("gated tree without NumInstr must fail")
+	}
+	if err := Verilog(&sb, &topology.Tree{}, Options{}); err == nil {
+		t.Error("invalid tree must fail")
+	}
+}
+
+func TestSpiceDeck(t *testing.T) {
+	tree, _ := routedTree(t, 10, gating.All{})
+	p := tech.Default()
+	var sb strings.Builder
+	if err := Spice(&sb, tree, p, "test deck"); err != nil {
+		t.Fatal(err)
+	}
+	deck := sb.String()
+
+	nodes := tree.Root.CountNodes()
+	// One wire resistor and two wire caps per edge.
+	if got := strings.Count(deck, "\nRw"); got != nodes {
+		t.Errorf("%d wire resistors, want %d", got, nodes)
+	}
+	wireCaps := regexp.MustCompile(`(?m)^Cw\d+[ab]`).FindAllString(deck, -1)
+	if len(wireCaps) != 2*nodes {
+		t.Errorf("%d wire caps, want %d", len(wireCaps), 2*nodes)
+	}
+	// One load cap per sink, one driver stage per driver.
+	if got := strings.Count(deck, "\nCload"); got != 10 {
+		t.Errorf("%d load caps, want 10", got)
+	}
+	drivers := 0
+	tree.Root.PreOrder(func(n *topology.Node) {
+		if n.Driver != nil {
+			drivers++
+		}
+	})
+	if got := strings.Count(deck, "\nE"); got != drivers {
+		t.Errorf("%d driver sources, want %d", got, drivers)
+	}
+	for _, want := range []string{"* test deck", "Vclk clk 0 PULSE", ".tran", ".end"} {
+		if !strings.Contains(deck, want) {
+			t.Errorf("deck missing %q", want)
+		}
+	}
+	// Every resistor's endpoints must appear as a node somewhere else
+	// (rudimentary connectivity check: no dangling typo names).
+	lines := strings.Split(deck, "\n")
+	mentions := map[string]int{}
+	for _, l := range lines {
+		if l == "" || strings.HasPrefix(l, "*") || strings.HasPrefix(l, ".") {
+			continue
+		}
+		f := strings.Fields(l)
+		if len(f) >= 3 {
+			mentions[f[1]]++
+			mentions[f[2]]++
+		}
+	}
+	for node, c := range mentions {
+		if node == "0" || node == "clk" {
+			continue
+		}
+		if c < 2 {
+			t.Errorf("node %s mentioned only once (dangling)", node)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// SPICE export: the routed tree as a distributed RC network for transistor-
+// level timing verification of the Elmore results.
+//
+// Every edge becomes a π-segment (half the wire capacitance at each end,
+// the wire resistance in between); sink loads become capacitors; drivers
+// become unity-gain voltage-controlled voltage sources behind their output
+// resistance with their input capacitance on the upstream node — the
+// standard linear driver abstraction matching the library's Elmore model,
+// so an operating-point/step simulation of the deck reproduces the
+// library's delays.
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// Spice writes a SPICE deck for tree t under technology p.
+func Spice(w io.Writer, t *topology.Tree, p tech.Params, title string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if title == "" {
+		title = "gated clock tree RC network"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s\n", title)
+	fmt.Fprintf(&b, "* nodes: n<id> at the bottom of each tree edge; 'clk' is the source.\n")
+	fmt.Fprintf(&b, "* units: ohm, farad, second.\n\n")
+	fmt.Fprintf(&b, "Vclk clk 0 PULSE(0 1 0 10p 10p 0.5n 1n)\n\n")
+
+	idx := 0 // element counter for unique names
+	var emit func(n *topology.Node, upstream string)
+	emit = func(n *topology.Node, upstream string) {
+		node := fmt.Sprintf("n%d", n.ID)
+		drive := upstream
+		if n.Driver != nil {
+			// Input pin cap on the upstream net, then an ideal stage with
+			// output resistance.
+			idx++
+			fmt.Fprintf(&b, "Cpin%d %s 0 %.6gf\n", idx, upstream, n.Driver.Cin)
+			idx++
+			din := fmt.Sprintf("d%d", n.ID)
+			fmt.Fprintf(&b, "E%d %s 0 %s 0 1\n", idx, din, upstream)
+			idx++
+			fmt.Fprintf(&b, "Rdrv%d %s %sx %.6g\n", idx, din, din, n.Driver.Rout)
+			drive = din + "x"
+		}
+		// π-model of the wire.
+		wireCap := p.WireCap(n.EdgeLen)
+		wireRes := p.WireResPerLambda * n.EdgeLen
+		if wireRes <= 0 {
+			wireRes = 1e-3 // keep the matrix non-singular for zero-length edges
+		}
+		idx++
+		fmt.Fprintf(&b, "Cw%da %s 0 %.6gf\n", idx, drive, wireCap/2)
+		idx++
+		fmt.Fprintf(&b, "Rw%d %s %s %.6g\n", idx, drive, node, wireRes)
+		idx++
+		fmt.Fprintf(&b, "Cw%db %s 0 %.6gf\n", idx, node, wireCap/2)
+		if n.IsSink() {
+			idx++
+			fmt.Fprintf(&b, "Cload%d %s 0 %.6gf * sink M%d\n", idx, node, n.LoadCap, n.SinkIndex+1)
+			return
+		}
+		emit(n.Left, node)
+		emit(n.Right, node)
+	}
+	emit(t.Root, "clk")
+
+	fmt.Fprintf(&b, "\n.tran 1p 2n\n.end\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,102 @@
+// Process-corner analysis: the switched-capacitance ordering of two clock
+// trees should be robust against interconnect and device variation, so the
+// evaluator can re-run a routed tree under derated technology corners.
+//
+// Only capacitances matter for switched capacitance; resistances and
+// intrinsic delays additionally shift the verified timing. The corner does
+// NOT re-route the tree: the layout is fixed at the nominal corner, exactly
+// like silicon.
+package power
+
+import (
+	"errors"
+
+	"repro/internal/ctrl"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// Corner scales the nominal technology parameters.
+type Corner struct {
+	Name       string
+	WireCap    float64 // multiplier on clock & enable unit capacitance
+	WireRes    float64 // multiplier on unit resistance
+	DriverCin  float64 // multiplier on gate/buffer input capacitance
+	DriverRout float64 // multiplier on driver output resistance
+	DriverDint float64 // multiplier on intrinsic delay
+}
+
+// DefaultCorners returns a typical slow/nominal/fast set.
+func DefaultCorners() []Corner {
+	return []Corner{
+		{Name: "fast", WireCap: 0.85, WireRes: 0.85, DriverCin: 0.9, DriverRout: 0.8, DriverDint: 0.8},
+		{Name: "nominal", WireCap: 1, WireRes: 1, DriverCin: 1, DriverRout: 1, DriverDint: 1},
+		{Name: "slow", WireCap: 1.2, WireRes: 1.25, DriverCin: 1.15, DriverRout: 1.3, DriverDint: 1.3},
+	}
+}
+
+// Apply returns the nominal parameters derated to the corner.
+func (c Corner) Apply(p tech.Params) (tech.Params, error) {
+	if c.WireCap <= 0 || c.WireRes <= 0 || c.DriverCin <= 0 || c.DriverRout <= 0 || c.DriverDint < 0 {
+		return tech.Params{}, errors.New("power: corner multipliers must be positive")
+	}
+	p.WireCapPerLambda *= c.WireCap
+	p.CtrlCapPerLambda *= c.WireCap
+	p.WireResPerLambda *= c.WireRes
+	for _, d := range []*tech.Driver{&p.Gate, &p.Buffer} {
+		d.Cin *= c.DriverCin
+		d.Rout *= c.DriverRout
+		d.Dint *= c.DriverDint
+	}
+	return p, nil
+}
+
+// CornerReport pairs a corner with its evaluation.
+type CornerReport struct {
+	Corner Corner
+	Report Report
+}
+
+// EvaluateCorners evaluates the routed tree under every corner. The tree's
+// drivers reference the nominal parameter set, so driver deratings are
+// applied by temporarily re-pointing them; the tree is restored before
+// returning.
+func EvaluateCorners(t *topology.Tree, c *ctrl.Controller, nominal tech.Params, corners []Corner) ([]CornerReport, error) {
+	if len(corners) == 0 {
+		corners = DefaultCorners()
+	}
+	// Snapshot driver pointers so each corner can substitute scaled copies.
+	type slot struct {
+		node *topology.Node
+		d    *tech.Driver
+		gate bool
+	}
+	var slots []slot
+	t.Root.PreOrder(func(n *topology.Node) {
+		if n.Driver != nil {
+			slots = append(slots, slot{node: n, d: n.Driver, gate: n.Gated()})
+		}
+	})
+	defer func() {
+		for _, s := range slots {
+			s.node.SetDriver(s.d, s.gate)
+		}
+	}()
+
+	var out []CornerReport
+	for _, corner := range corners {
+		p, err := corner.Apply(nominal)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range slots {
+			derated := *s.d
+			derated.Cin *= corner.DriverCin
+			derated.Rout *= corner.DriverRout
+			derated.Dint *= corner.DriverDint
+			s.node.SetDriver(&derated, s.gate)
+		}
+		out = append(out, CornerReport{Corner: corner, Report: Evaluate(t, c, p)})
+	}
+	return out, nil
+}

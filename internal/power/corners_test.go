@@ -1,0 +1,72 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func TestCornerApply(t *testing.T) {
+	p := tech.Default()
+	slow := Corner{Name: "s", WireCap: 1.2, WireRes: 1.25, DriverCin: 1.15, DriverRout: 1.3, DriverDint: 1.3}
+	q, err := slow.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.WireCapPerLambda != 1.2*p.WireCapPerLambda || q.CtrlCapPerLambda != 1.2*p.CtrlCapPerLambda {
+		t.Error("wire caps not derated")
+	}
+	if q.Gate.Cin != 1.15*p.Gate.Cin || q.Buffer.Rout != 1.3*p.Buffer.Rout {
+		t.Error("drivers not derated")
+	}
+	bad := Corner{WireCap: 0}
+	if _, err := bad.Apply(p); err == nil {
+		t.Error("zero multiplier must fail")
+	}
+}
+
+func TestEvaluateCorners(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	tr.Root.PreOrder(func(n *topology.Node) { n.SetDriver(&p.Gate, true) })
+	reports, err := EvaluateCorners(tr, centralized(), p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d corners", len(reports))
+	}
+	fast, nom, slow := reports[0], reports[1], reports[2]
+	if !(fast.Report.TotalSC < nom.Report.TotalSC && nom.Report.TotalSC < slow.Report.TotalSC) {
+		t.Errorf("SC not monotone across corners: %v %v %v",
+			fast.Report.TotalSC, nom.Report.TotalSC, slow.Report.TotalSC)
+	}
+	if !(fast.Report.MaxDelayPs < nom.Report.MaxDelayPs && nom.Report.MaxDelayPs < slow.Report.MaxDelayPs) {
+		t.Errorf("delay not monotone across corners: %v %v %v",
+			fast.Report.MaxDelayPs, nom.Report.MaxDelayPs, slow.Report.MaxDelayPs)
+	}
+	// The nominal corner must reproduce the plain evaluation exactly.
+	plain := Evaluate(tr, centralized(), p)
+	if nom.Report.TotalSC != plain.TotalSC || nom.Report.MaxDelayPs != plain.MaxDelayPs {
+		t.Errorf("nominal corner (%v, %v) differs from direct evaluation (%v, %v)",
+			nom.Report.TotalSC, nom.Report.MaxDelayPs, plain.TotalSC, plain.MaxDelayPs)
+	}
+	// Drivers restored: evaluating again matches.
+	if again := Evaluate(tr, centralized(), p); again.TotalSC != plain.TotalSC {
+		t.Error("corner evaluation did not restore the tree's drivers")
+	}
+	tr.Root.PreOrder(func(n *topology.Node) {
+		if n.Driver != &p.Gate {
+			t.Error("driver pointer not restored")
+		}
+	})
+}
+
+func TestEvaluateCornersRejectsBadCorner(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	if _, err := EvaluateCorners(tr, centralized(), p, []Corner{{WireCap: -1, WireRes: 1, DriverCin: 1, DriverRout: 1, DriverDint: 1}}); err == nil {
+		t.Error("bad corner must fail")
+	}
+}

@@ -1,0 +1,219 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ctrl"
+	"repro/internal/geom"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// buildTree returns a hand-made 4-sink tree:
+//
+//	      root(ID 6)
+//	     /          \
+//	 n4(ID 4)      n5(ID 5)
+//	 /     \       /     \
+//	s0     s1     s2     s3
+//
+// with unit-friendly edge lengths and locations.
+func buildTree() *topology.Tree {
+	s := make([]*topology.Node, 4)
+	locs := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 0, Y: 100}, {X: 100, Y: 100}}
+	caps := []float64{10, 20, 30, 40}
+	for i := range s {
+		s[i] = topology.NewSink(i, i, locs[i], caps[i])
+		s[i].EdgeLen = 50
+		s[i].P, s[i].Ptr = 0.3+0.1*float64(i), 0.1
+	}
+	n4 := &topology.Node{ID: 4, SinkIndex: -1, Left: s[0], Right: s[1], Loc: geom.Pt(50, 0), EdgeLen: 60, P: 0.5, Ptr: 0.2}
+	n5 := &topology.Node{ID: 5, SinkIndex: -1, Left: s[2], Right: s[3], Loc: geom.Pt(50, 100), EdgeLen: 60, P: 0.7, Ptr: 0.15}
+	root := &topology.Node{ID: 6, SinkIndex: -1, Left: n4, Right: n5, Loc: geom.Pt(50, 50), EdgeLen: 10, P: 0.9, Ptr: 0.05}
+	s[0].Parent, s[1].Parent = n4, n4
+	s[2].Parent, s[3].Parent = n5, n5
+	n4.Parent, n5.Parent = root, root
+	return &topology.Tree{Root: root, Source: geom.Pt(50, 50)}
+}
+
+func centralized() *ctrl.Controller {
+	return ctrl.Centralized(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100})
+}
+
+func TestBareTreeSCEqualsTotalCap(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	r := Evaluate(tr, centralized(), p)
+	// Everything always switches: SC = all wire cap + all sink loads.
+	wire := p.WireCap(4*50 + 2*60 + 10)
+	want := wire + 10 + 20 + 30 + 40
+	if math.Abs(r.ClockSC-want) > 1e-9 {
+		t.Errorf("ClockSC = %v, want %v", r.ClockSC, want)
+	}
+	if r.ClockSC != r.UngatedSC || r.CtrlSC != 0 || r.TotalSC != r.ClockSC {
+		t.Error("bare tree must have no gating terms")
+	}
+	if r.NumGates != 0 || r.NumBuffers != 0 || r.DriverArea != 0 {
+		t.Error("bare tree has no drivers")
+	}
+	if r.NumSinks != 4 {
+		t.Errorf("NumSinks = %d", r.NumSinks)
+	}
+}
+
+func TestBufferedTreeChargesBufferPins(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	tr.Root.PreOrder(func(n *topology.Node) { n.SetDriver(&p.Buffer, false) })
+	r := Evaluate(tr, centralized(), p)
+	wire := p.WireCap(4*50 + 2*60 + 10)
+	want := wire + 100 + 7*p.Buffer.Cin
+	if math.Abs(r.ClockSC-want) > 1e-9 {
+		t.Errorf("ClockSC = %v, want %v", r.ClockSC, want)
+	}
+	if r.NumBuffers != 7 || r.NumGates != 0 {
+		t.Errorf("drivers miscounted: %d buffers, %d gates", r.NumBuffers, r.NumGates)
+	}
+	if want := 7 * p.Buffer.Area; r.DriverArea != want {
+		t.Errorf("DriverArea = %v, want %v", r.DriverArea, want)
+	}
+	if r.CtrlSC != 0 {
+		t.Error("buffers must not contribute controller SC")
+	}
+}
+
+// TestFullyGatedMatchesPaperFormula re-derives W(T) and W(S) via the
+// paper's explicit per-edge formulas, independent of the domain walker.
+func TestFullyGatedMatchesPaperFormula(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	tr.Root.PreOrder(func(n *topology.Node) { n.SetDriver(&p.Gate, true) })
+	c := centralized()
+	r := Evaluate(tr, c, p)
+
+	// W(T) = Σ (c·|e_i| + C_i)·P(EN_i), with C_i the sink load or the
+	// children's gate input caps; the root gate's own input cap hangs on
+	// the always-on source net.
+	var wantT float64
+	tr.Root.PreOrder(func(n *topology.Node) {
+		attach := n.LoadCap
+		if !n.IsSink() {
+			attach = 2 * p.Gate.Cin
+		}
+		wantT += (p.WireCap(n.EdgeLen) + attach) * n.P
+	})
+	wantT += p.Gate.Cin * 1 // root gate input on the source domain
+	if math.Abs(r.ClockSC-wantT) > 1e-9 {
+		t.Errorf("ClockSC = %v, want %v (paper formula)", r.ClockSC, wantT)
+	}
+
+	// W(S) = Σ (c_ctrl·|EN_i| + C_g)·Ptr(EN_i), gate at the parent node.
+	var wantS float64
+	tr.Root.PreOrder(func(n *topology.Node) {
+		loc := tr.Source
+		if n.Parent != nil {
+			loc = n.Parent.Loc
+		}
+		wantS += (p.CtrlWireCap(c.StarDist(loc)) + p.Gate.Cin) * n.Ptr
+	})
+	if math.Abs(r.CtrlSC-wantS) > 1e-9 {
+		t.Errorf("CtrlSC = %v, want %v (paper formula)", r.CtrlSC, wantS)
+	}
+	if math.Abs(r.TotalSC-(wantT+wantS)) > 1e-9 {
+		t.Error("TotalSC must be W(T)+W(S)")
+	}
+	if r.NumGates != 7 {
+		t.Errorf("NumGates = %d", r.NumGates)
+	}
+}
+
+func TestPartialGatingDomains(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	// One gate, on the edge feeding n4 (P = 0.5). Everything below n4 is in
+	// that domain; everything else is always on.
+	n4 := tr.Root.Left
+	n4.SetDriver(&p.Gate, true)
+	r := Evaluate(tr, centralized(), p)
+
+	domain4 := p.WireCap(60+50+50) + 10 + 20
+	alwaysOn := p.WireCap(10+60+50+50) + 30 + 40 + p.Gate.Cin
+	want := alwaysOn + 0.5*domain4
+	if math.Abs(r.ClockSC-want) > 1e-9 {
+		t.Errorf("ClockSC = %v, want %v", r.ClockSC, want)
+	}
+	if r.UngatedSC <= r.ClockSC {
+		t.Error("gating must reduce SC when P < 1")
+	}
+	if want := alwaysOn + domain4; math.Abs(r.UngatedSC-want) > 1e-9 {
+		t.Errorf("UngatedSC = %v, want %v", r.UngatedSC, want)
+	}
+}
+
+func TestGatesStuckOnMatchUngated(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	tr.Root.PreOrder(func(n *topology.Node) {
+		n.SetDriver(&p.Gate, true)
+		n.P = 1 // enables never mask
+	})
+	r := Evaluate(tr, centralized(), p)
+	if math.Abs(r.ClockSC-r.UngatedSC) > 1e-9 {
+		t.Errorf("P≡1 gated tree must equal its ungated SC: %v vs %v", r.ClockSC, r.UngatedSC)
+	}
+}
+
+func TestAreaAccounting(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	tr.Root.Left.SetDriver(&p.Gate, true)
+	tr.Root.Right.SetDriver(&p.Buffer, false)
+	c := centralized()
+	r := Evaluate(tr, c, p)
+	if want := r.ClockWirelength * p.WirePitch; r.ClockWireArea != want {
+		t.Errorf("ClockWireArea = %v, want %v", r.ClockWireArea, want)
+	}
+	if want := r.StarWirelength * p.CtrlPitch; r.StarWireArea != want {
+		t.Errorf("StarWireArea = %v, want %v", r.StarWireArea, want)
+	}
+	if want := p.Gate.Area + p.Buffer.Area; r.DriverArea != want {
+		t.Errorf("DriverArea = %v, want %v", r.DriverArea, want)
+	}
+	if want := r.ClockWireArea + r.StarWireArea + r.DriverArea; r.TotalArea != want {
+		t.Errorf("TotalArea = %v", r.TotalArea)
+	}
+	// One gate at the root's location (both internal edges hang off root).
+	if want := c.StarDist(tr.Root.Loc); r.StarWirelength != want {
+		t.Errorf("StarWirelength = %v, want %v", r.StarWirelength, want)
+	}
+}
+
+func TestGateReduction(t *testing.T) {
+	r := Report{NumSinks: 4, NumGates: 7}
+	if r.GateReduction() != 0 {
+		t.Errorf("full gating should be 0 reduction, got %v", r.GateReduction())
+	}
+	r.NumGates = 0
+	if r.GateReduction() != 1 {
+		t.Errorf("no gates should be 1.0 reduction, got %v", r.GateReduction())
+	}
+	r.NumSinks = 0
+	if r.GateReduction() != 0 {
+		t.Error("degenerate report must not divide by zero")
+	}
+}
+
+func TestTimingFieldsPopulated(t *testing.T) {
+	p := tech.Default()
+	tr := buildTree()
+	r := Evaluate(tr, centralized(), p)
+	if r.MaxDelayPs <= 0 {
+		t.Error("MaxDelayPs must be positive")
+	}
+	// This hand-made tree is symmetric per subtree but asymmetric loads →
+	// nonzero skew; just check it is finite and consistent.
+	if math.IsNaN(r.SkewPs) || r.SkewPs < 0 {
+		t.Errorf("SkewPs = %v", r.SkewPs)
+	}
+}

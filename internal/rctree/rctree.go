@@ -1,0 +1,83 @@
+// Package rctree is an independent Elmore-delay analyzer for embedded clock
+// trees. It recomputes every sink delay from first principles — edge
+// lengths, drivers and load capacitances only — without reusing any of the
+// incremental bookkeeping the DME construction maintains, so it serves as
+// the ground-truth verifier for the zero-skew property.
+package rctree
+
+import (
+	"math"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// Analysis reports the timing of a routed clock tree.
+type Analysis struct {
+	SinkDelay map[int]float64 // sink index → source-to-sink Elmore delay (ps)
+	MaxDelay  float64         // phase delay of the tree (ps)
+	MinDelay  float64
+	Skew      float64 // MaxDelay − MinDelay (ps)
+	TotalCap  float64 // total capacitance hanging off the source (fF), gate-shielded
+}
+
+// Analyze computes the Elmore delay from the tree source to every sink.
+//
+// Each edge is owned by its child node: an optional driver at the top
+// (shielding everything below it and contributing Dint + Rout·load), then a
+// distributed RC wire of the node's electrical EdgeLen, then the node
+// itself (a sink load or a Steiner junction).
+func Analyze(t *topology.Tree, p tech.Params) Analysis {
+	caps := make(map[*topology.Node]float64)
+	var capOf func(n *topology.Node) float64
+	capOf = func(n *topology.Node) float64 {
+		if c, ok := caps[n]; ok {
+			return c
+		}
+		c := 0.0
+		if n.IsSink() {
+			c = n.LoadCap
+		} else {
+			c = edgeCap(n.Left, p, capOf) + edgeCap(n.Right, p, capOf)
+		}
+		caps[n] = c
+		return c
+	}
+
+	a := Analysis{SinkDelay: make(map[int]float64)}
+	var down func(n *topology.Node, t0 float64)
+	down = func(n *topology.Node, t0 float64) {
+		load := capOf(n)
+		if n.Driver != nil {
+			t0 += n.Driver.Delay(p.WireCap(n.EdgeLen) + load)
+		}
+		t0 += p.WireDelay(n.EdgeLen, load)
+		if n.IsSink() {
+			a.SinkDelay[n.SinkIndex] = t0
+			return
+		}
+		down(n.Left, t0)
+		down(n.Right, t0)
+	}
+	down(t.Root, 0)
+
+	a.MaxDelay = math.Inf(-1)
+	a.MinDelay = math.Inf(1)
+	for _, d := range a.SinkDelay {
+		a.MaxDelay = math.Max(a.MaxDelay, d)
+		a.MinDelay = math.Min(a.MinDelay, d)
+	}
+	a.Skew = a.MaxDelay - a.MinDelay
+	a.TotalCap = edgeCap(t.Root, p, capOf)
+	return a
+}
+
+// edgeCap returns the capacitance the edge owned by n presents to the node
+// above it: the driver input cap when a driver shields the edge, otherwise
+// the wire cap plus the downstream cap.
+func edgeCap(n *topology.Node, p tech.Params, capOf func(*topology.Node) float64) float64 {
+	if n.Driver != nil {
+		return n.Driver.Cin
+	}
+	return p.WireCap(n.EdgeLen) + capOf(n)
+}

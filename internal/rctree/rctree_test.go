@@ -1,0 +1,108 @@
+package rctree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// hand-built two-sink tree with known Elmore arithmetic.
+func twoSinkTree(p tech.Params, la, lb float64, driver *tech.Driver) *topology.Tree {
+	s0 := topology.NewSink(0, 0, geom.Pt(0, 0), 10)
+	s1 := topology.NewSink(1, 1, geom.Pt(10, 0), 40)
+	root := &topology.Node{ID: 2, SinkIndex: -1, Left: s0, Right: s1, Loc: geom.Pt(5, 0)}
+	s0.Parent, s1.Parent = root, root
+	s0.EdgeLen, s1.EdgeLen = la, lb
+	if driver != nil {
+		s0.SetDriver(driver, false)
+		s1.SetDriver(driver, false)
+	}
+	return &topology.Tree{Root: root, Source: geom.Pt(5, 5)}
+}
+
+func TestAnalyzeBareTree(t *testing.T) {
+	p := tech.Default()
+	tr := twoSinkTree(p, 5, 5, nil)
+	tr.Root.EdgeLen = 7
+	a := Analyze(tr, p)
+
+	// Hand arithmetic: delay(sink0) = wire(root edge, load = total below)
+	// + wire(5, 10).
+	below := 2*p.WireCap(5) + 10 + 40
+	want0 := p.WireDelay(7, below) + p.WireDelay(5, 10)
+	want1 := p.WireDelay(7, below) + p.WireDelay(5, 40)
+	if got := a.SinkDelay[0]; math.Abs(got-want0) > 1e-12 {
+		t.Errorf("sink0 delay %v, want %v", got, want0)
+	}
+	if got := a.SinkDelay[1]; math.Abs(got-want1) > 1e-12 {
+		t.Errorf("sink1 delay %v, want %v", got, want1)
+	}
+	if math.Abs(a.Skew-(want1-want0)) > 1e-12 {
+		t.Errorf("skew %v, want %v", a.Skew, want1-want0)
+	}
+	if math.Abs(a.TotalCap-(p.WireCap(7)+below)) > 1e-12 {
+		t.Errorf("TotalCap %v", a.TotalCap)
+	}
+}
+
+func TestAnalyzeWithDrivers(t *testing.T) {
+	p := tech.Default()
+	tr := twoSinkTree(p, 5, 5, &p.Buffer)
+	a := Analyze(tr, p)
+	// Each sink edge: buffer delay loaded with (wire + sink), then wire.
+	want0 := p.Buffer.Delay(p.WireCap(5)+10) + p.WireDelay(5, 10)
+	if got := a.SinkDelay[0]; math.Abs(got-want0) > 1e-12 {
+		t.Errorf("sink0 delay %v, want %v", got, want0)
+	}
+	// Drivers shield: the root sees two buffer input caps only.
+	if want := 2 * p.Buffer.Cin; math.Abs(a.TotalCap-want) > 1e-12 {
+		t.Errorf("TotalCap %v, want %v", a.TotalCap, want)
+	}
+}
+
+func TestDriverShieldingChangesUpstreamDelayOnly(t *testing.T) {
+	p := tech.Default()
+	// Heavier sink load below a driver must not change what the tree above
+	// the driver sees.
+	light := twoSinkTree(p, 5, 5, &p.Gate)
+	heavy := twoSinkTree(p, 5, 5, &p.Gate)
+	heavy.Root.Left.LoadCap = 500
+	al, ah := Analyze(light, p), Analyze(heavy, p)
+	if al.TotalCap != ah.TotalCap {
+		t.Errorf("shielded upstream cap changed: %v vs %v", al.TotalCap, ah.TotalCap)
+	}
+	if ah.SinkDelay[0] <= al.SinkDelay[0] {
+		t.Error("heavier load below the driver must slow that sink")
+	}
+	if ah.SinkDelay[1] != al.SinkDelay[1] {
+		t.Error("the sibling subtree must be unaffected")
+	}
+}
+
+func TestSingleSinkTree(t *testing.T) {
+	p := tech.Default()
+	s := topology.NewSink(0, 0, geom.Pt(3, 3), 25)
+	s.EdgeLen = 4
+	tr := &topology.Tree{Root: s, Source: geom.Pt(0, 0)}
+	a := Analyze(tr, p)
+	if len(a.SinkDelay) != 1 || a.Skew != 0 {
+		t.Fatalf("bad analysis: %+v", a)
+	}
+	if want := p.WireDelay(4, 25); math.Abs(a.SinkDelay[0]-want) > 1e-12 {
+		t.Errorf("delay %v, want %v", a.SinkDelay[0], want)
+	}
+}
+
+func TestMaskingGateCountsAsDriver(t *testing.T) {
+	p := tech.Default()
+	tr := twoSinkTree(p, 5, 5, nil)
+	tr.Root.Left.SetDriver(&p.Gate, true) // masking gate on one edge
+	a := Analyze(tr, p)
+	want0 := p.Gate.Delay(p.WireCap(5)+10) + p.WireDelay(5, 10)
+	if got := a.SinkDelay[0]; math.Abs(got-want0) > 1e-12 {
+		t.Errorf("gated sink delay %v, want %v", got, want0)
+	}
+}

@@ -1,0 +1,178 @@
+package regate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/gating"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/rctree"
+	"repro/internal/stream"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+type fixture struct {
+	tree *topology.Tree
+	cfg  Config
+}
+
+func routed(t *testing.T, n int, seed uint64, policy gating.Policy) fixture {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 2))
+	in := &core.Instance{Die: geom.Rect{X0: 0, Y0: 0, X1: 4000, Y1: 4000}}
+	for i := 0; i < n; i++ {
+		in.SinkLocs = append(in.SinkLocs, geom.Pt(rng.Float64()*4000, rng.Float64()*4000))
+		in.SinkCaps = append(in.SinkCaps, 30+rng.Float64()*90)
+	}
+	d, err := isa.Generate(isa.GenConfig{NumModules: n, NumInstr: 8, Usage: 0.4, Scatter: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.DefaultMarkov().Generate(d, 1200, rng)
+	in.Profile, err = activity.NewProfile(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctrl.Centralized(in.Die)
+	p := tech.Default()
+	tree, _, err := core.Route(in, core.Options{
+		Tech: p, Method: core.MinSwitchedCap, Drivers: core.GatedTree,
+		Policy: policy, Controller: c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := in.Die.W()
+	return fixture{tree: tree, cfg: Config{
+		Tech:       p,
+		Controller: c,
+		BufferCap:  4 * gating.BaseCap(p.Gate.Cin, side),
+	}}
+}
+
+// TestRebuildIdentityPreservesSC: rebuilding with the tree's own gate set
+// must reproduce its evaluation (the re-solve path is equivalent to the
+// construction path).
+func TestRebuildIdentityPreservesSC(t *testing.T) {
+	f := routed(t, 40, 3, nil)
+	nt, err := Rebuild(f.tree, f.cfg, GateSet(f.tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := power.Evaluate(f.tree, f.cfg.Controller, f.cfg.Tech)
+	got := power.Evaluate(nt, f.cfg.Controller, f.cfg.Tech)
+	// Buffer placement may differ slightly (the router estimates subtree
+	// caps before the merge; Rebuild sees exact ones), so compare within a
+	// small relative band.
+	if rel := math.Abs(got.TotalSC-orig.TotalSC) / orig.TotalSC; rel > 0.05 {
+		t.Errorf("identity rebuild SC %v vs original %v (rel %v)", got.TotalSC, orig.TotalSC, rel)
+	}
+	if got.NumGates != orig.NumGates {
+		t.Errorf("gate count changed: %d vs %d", got.NumGates, orig.NumGates)
+	}
+	if got.SkewPs > 1e-6*(1+got.MaxDelayPs) {
+		t.Errorf("rebuild lost zero skew: %v", got.SkewPs)
+	}
+}
+
+func TestRebuildUngateAll(t *testing.T) {
+	f := routed(t, 30, 5, gating.All{})
+	nt, err := Rebuild(f.tree, f.cfg, map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := power.Evaluate(nt, f.cfg.Controller, f.cfg.Tech)
+	if rep.NumGates != 0 {
+		t.Errorf("%d gates left after ungating", rep.NumGates)
+	}
+	if rep.CtrlSC != 0 {
+		t.Error("ungated tree must have no controller SC")
+	}
+	a := rctree.Analyze(nt, f.cfg.Tech)
+	if a.Skew > 1e-6*(1+a.MaxDelay) {
+		t.Errorf("skew %v after full ungating", a.Skew)
+	}
+}
+
+func TestRebuildPreservesTopologyAndActivity(t *testing.T) {
+	f := routed(t, 25, 7, nil)
+	nt, err := Rebuild(f.tree, f.cfg, GateSet(f.tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origIDs, newIDs []int
+	var origP, newP []float64
+	f.tree.Root.PreOrder(func(n *topology.Node) { origIDs = append(origIDs, n.ID); origP = append(origP, n.P) })
+	nt.Root.PreOrder(func(n *topology.Node) { newIDs = append(newIDs, n.ID); newP = append(newP, n.P) })
+	if len(origIDs) != len(newIDs) {
+		t.Fatal("node count changed")
+	}
+	for i := range origIDs {
+		if origIDs[i] != newIDs[i] || origP[i] != newP[i] {
+			t.Fatal("topology or activity not preserved")
+		}
+	}
+}
+
+// TestImproveNeverWorsens is the optimizer's contract: the final exact SC
+// is at most the SC of rebuilding the initial assignment.
+func TestImproveNeverWorsens(t *testing.T) {
+	f := routed(t, 35, 11, nil)
+	res, err := Improve(f.tree, f.cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalSC > res.InitialSC+1e-9 {
+		t.Errorf("optimizer worsened SC: %v from %v", res.Report.TotalSC, res.InitialSC)
+	}
+	if res.Evals == 0 || res.Passes == 0 {
+		t.Error("optimizer did no work")
+	}
+	// The optimized tree must stay a valid zero-skew tree.
+	a := rctree.Analyze(res.Tree, f.cfg.Tech)
+	if a.Skew > 1e-6*(1+a.MaxDelay) {
+		t.Errorf("optimized tree skew %v", a.Skew)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestImproveFindsObviousWin: seed the optimizer with a clearly bad
+// assignment (all gates on a low-activity design) and it must strip some.
+func TestImproveFindsObviousWin(t *testing.T) {
+	f := routed(t, 30, 13, gating.All{})
+	before := power.Evaluate(f.tree, f.cfg.Controller, f.cfg.Tech)
+	res, err := Improve(f.tree, f.cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips == 0 {
+		t.Fatal("optimizer found no improvement over full gating")
+	}
+	if res.Report.TotalSC >= before.TotalSC {
+		t.Errorf("no SC gain: %v vs %v", res.Report.TotalSC, before.TotalSC)
+	}
+	if res.Report.NumGates >= before.NumGates {
+		t.Errorf("expected gates to be stripped: %d vs %d", res.Report.NumGates, before.NumGates)
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	f := routed(t, 10, 17, nil)
+	cfg := f.cfg
+	cfg.Controller = nil
+	if _, err := Rebuild(f.tree, cfg, nil); err == nil {
+		t.Error("missing controller must fail")
+	}
+	if _, err := Rebuild(&topology.Tree{}, f.cfg, nil); err == nil {
+		t.Error("invalid tree must fail")
+	}
+}

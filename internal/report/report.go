@@ -1,0 +1,117 @@
+// Package report renders fixed-width text tables for the experiment
+// binaries — the same rows the paper's tables and figures report.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled fixed-width table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	rule := strings.Repeat("-", total)
+	fmt.Fprintln(w, rule)
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			sb.WriteString(pad(cell, widths[i]))
+			sb.WriteString("  ")
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	printRow(t.Columns)
+	fmt.Fprintln(w, rule)
+	for _, row := range t.rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w, rule)
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func pad(s string, width int) string {
+	if n := len([]rune(s)); n < width {
+		return strings.Repeat(" ", width-n) + s
+	}
+	return s
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// I formats an integer.
+func I(v int) string { return strconv.Itoa(v) }
+
+// Pct formats a ratio as a signed percentage ("-31.2%").
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", ratio*100)
+}
+
+// KiloF formats a value scaled by 1e-3 ("12.3" for 12300).
+func KiloF(v float64, decimals int) string { return F(v/1e3, decimals) }
+
+// MegaF formats a value scaled by 1e-6.
+func MegaF(v float64, decimals int) string { return F(v/1e6, decimals) }

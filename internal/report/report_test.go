@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long-name", "22")
+	tb.AddNote("a footnote with %d args", 2)
+	out := tb.String()
+
+	for _, want := range []string{"Demo", "Name", "Value", "alpha", "beta-long-name", "note: a footnote with 2 args"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Header and rows must align: every data line has the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("", "A", "B", "C")
+	tb.AddRow("1")                      // missing cells
+	tb.AddRow("1", "2", "3", "ignored") // extra cell
+	out := tb.String()
+	if strings.Contains(out, "ignored") {
+		t.Error("extra cells must be dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{F(3.14159, 2), "3.14"},
+		{I(42), "42"},
+		{Pct(-0.312), "-31.2%"},
+		{Pct(0.05), "+5.0%"},
+		{KiloF(12300, 1), "12.3"},
+		{MegaF(2500000, 2), "2.50"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestRightAlignment(t *testing.T) {
+	tb := New("", "Col")
+	tb.AddRow("x")
+	out := tb.String()
+	if !strings.Contains(out, "  x") {
+		t.Errorf("cells should be right-aligned:\n%s", out)
+	}
+}

@@ -1,0 +1,192 @@
+// Package sim is a cycle-accurate switched-capacitance simulator for gated
+// clock trees: it replays an instruction stream over a routed tree,
+// evaluates every enable signal each cycle (EN is on exactly when the
+// cycle's instruction uses a module below the gate), and accumulates the
+// capacitance actually toggled.
+//
+// The probabilistic evaluator (internal/power) computes expected values
+// from the IFT/ITMAT tables; this simulator measures the same quantities by
+// brute force. Because the tables are exact frequencies of the same stream,
+// the two must agree to within the single-boundary edge effect of a linear
+// (non-cyclic) trace — which makes the pair a powerful end-to-end check of
+// the whole activity/power pipeline, and gives users a way to evaluate
+// workloads that are not stationary.
+package sim
+
+import (
+	"errors"
+
+	"repro/internal/ctrl"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/stream"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// Result is the measured switched capacitance of one replay.
+type Result struct {
+	Cycles int
+
+	// ClockSC is the per-cycle average capacitance switched by the clock
+	// (wires, sink loads and driver inputs), in fF/cycle — same convention
+	// as power.Report.ClockSC.
+	ClockSC float64
+	// CtrlSC is the per-boundary average capacitance switched by enable
+	// nets, matching power.Report.CtrlSC.
+	CtrlSC float64
+	// TotalSC = ClockSC + CtrlSC.
+	TotalSC float64
+
+	// GateOnFraction is the capacitance-weighted fraction of gate-cycles
+	// spent enabled — a direct view of how much masking happened.
+	GateOnFraction float64
+}
+
+// domain is a contiguous gating region: the capacitance charged whenever
+// its controlling gate (or the free-running source, for domain 0) is on.
+type domain struct {
+	cap     float64        // wire + sink + child-driver-input capacitance (fF)
+	instr   isa.Bitset     // enable's instruction set; nil = always on
+	starCap float64        // enable net + EN pin capacitance (fF); 0 for the source domain
+	gate    bool           // has a masking gate
+	node    *topology.Node // gated node (nil for the source domain)
+}
+
+// Simulator replays streams over one routed tree.
+type Simulator struct {
+	domains []domain
+}
+
+// New builds the simulator for a routed tree under controller c (may be nil
+// when the tree has no gates).
+func New(t *topology.Tree, c *ctrl.Controller, p tech.Params) (*Simulator, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{}
+	// Domain 0: everything reachable from the source without crossing a
+	// gate.
+	s.domains = append(s.domains, domain{})
+	var build func(n *topology.Node, dom int)
+	build = func(n *topology.Node, dom int) {
+		if n.Driver != nil {
+			// Driver input pin charges with the upstream domain.
+			s.domains[dom].cap += n.Driver.Cin
+			if n.Gated() {
+				star := 0.0
+				if c != nil {
+					loc := t.Source
+					if n.Parent != nil {
+						loc = n.Parent.Loc
+					}
+					star = c.StarDist(loc)
+				}
+				s.domains = append(s.domains, domain{
+					instr:   n.Instr,
+					starCap: p.CtrlWireCap(star) + n.Driver.Cin,
+					gate:    true,
+					node:    n,
+				})
+				dom = len(s.domains) - 1
+			}
+		}
+		s.domains[dom].cap += p.WireCap(n.EdgeLen)
+		if n.IsSink() {
+			s.domains[dom].cap += n.LoadCap
+			return
+		}
+		build(n.Left, dom)
+		build(n.Right, dom)
+	}
+	build(t.Root, 0)
+	return s, nil
+}
+
+// NumDomains returns the number of gating domains including the always-on
+// source domain.
+func (s *Simulator) NumDomains() int { return len(s.domains) }
+
+// Replay measures the switched capacitance of executing the stream on the
+// simulated tree. The stream's instructions must be valid for the ISA the
+// tree was routed against (enables were built from instruction sets, so
+// only index range can be checked here).
+func (s *Simulator) Replay(tr stream.Stream) (Result, error) {
+	if len(tr) < 2 {
+		return Result{}, errors.New("sim: stream must have at least two cycles")
+	}
+	res := Result{Cycles: len(tr)}
+
+	clock := 0.0   // summed fF over all cycles
+	star := 0.0    // summed fF over all boundaries
+	gateOn := 0.0  // cap-weighted enabled gate-cycles
+	gateAll := 0.0 // cap-weighted gate-cycles
+
+	prevOn := make([]bool, len(s.domains))
+	for i := range prevOn {
+		prevOn[i] = true
+	}
+	for cycle, instr := range tr {
+		for i := range s.domains {
+			d := &s.domains[i]
+			on := true
+			if d.gate {
+				if instr >= len(d.instr)*64 {
+					return Result{}, errors.New("sim: instruction index outside the routed ISA")
+				}
+				on = d.instr.Has(instr)
+				gateAll += d.cap
+				if on {
+					gateOn += d.cap
+				}
+			}
+			if on {
+				clock += d.cap
+			}
+			if cycle > 0 && d.gate && on != prevOn[i] {
+				star += d.starCap
+			}
+			prevOn[i] = on
+		}
+	}
+	res.ClockSC = clock / float64(len(tr))
+	res.CtrlSC = star / float64(len(tr)-1)
+	res.TotalSC = res.ClockSC + res.CtrlSC
+	if gateAll > 0 {
+		res.GateOnFraction = gateOn / gateAll
+	}
+	return res, nil
+}
+
+// DomainBreakdown describes one gating domain for reporting.
+type DomainBreakdown struct {
+	Cap      float64 // capacitance in the domain (fF)
+	P        float64 // enable signal probability (0 when ungated: always on)
+	Gated    bool
+	Location geom.Point // gate location (zero for the source domain)
+	Sinks    int        // sinks inside the domain
+}
+
+// Breakdown lists the simulator's domains, largest capacitance first — the
+// "where does the clock power go" view for reports.
+func (s *Simulator) Breakdown() []DomainBreakdown {
+	out := make([]DomainBreakdown, 0, len(s.domains))
+	for _, d := range s.domains {
+		b := DomainBreakdown{Cap: d.cap, Gated: d.gate}
+		if d.node != nil {
+			b.P = d.node.P
+			if d.node.Parent != nil {
+				b.Location = d.node.Parent.Loc
+			}
+			b.Sinks = len(d.node.Sinks())
+		}
+		out = append(out, b)
+	}
+	// Insertion sort by cap (domain counts are small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Cap > out[j-1].Cap; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/gating"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/stream"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+type fixture struct {
+	tree *topology.Tree
+	c    *ctrl.Controller
+	p    tech.Params
+	s    stream.Stream
+	d    *isa.Description
+}
+
+func route(t *testing.T, n int, seed uint64, opts core.Options) fixture {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 5))
+	in := &core.Instance{Die: geom.Rect{X0: 0, Y0: 0, X1: 5000, Y1: 5000}}
+	for i := 0; i < n; i++ {
+		in.SinkLocs = append(in.SinkLocs, geom.Pt(rng.Float64()*5000, rng.Float64()*5000))
+		in.SinkCaps = append(in.SinkCaps, 30+rng.Float64()*90)
+	}
+	d, err := isa.Generate(isa.GenConfig{NumModules: n, NumInstr: 10, Usage: 0.4, Scatter: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.DefaultMarkov().Generate(d, 3000, rng)
+	in.Profile, err = activity.NewProfile(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctrl.Centralized(in.Die)
+	opts.Controller = c
+	tree, _, err := core.Route(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{tree: tree, c: c, p: opts.Tech, s: s, d: d}
+}
+
+// TestReplayMatchesProbabilisticEvaluator is the end-to-end cross-check:
+// replaying the very stream the activity tables were built from must
+// reproduce the probabilistic W(T) and W(S) to floating-point accuracy.
+func TestReplayMatchesProbabilisticEvaluator(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"gated-all", core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+			Drivers: core.GatedTree, Policy: gating.All{}}},
+		{"gated-reduced", core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+			Drivers: core.GatedTree}},
+		{"buffered", core.Options{Tech: tech.Default(), Method: core.NearestNeighbor,
+			Drivers: core.BufferedTree}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			f := route(t, 40, 11, cfg.opts)
+			sm, err := New(f.tree, f.c, f.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sm.Replay(f.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := power.Evaluate(f.tree, f.c, f.p)
+			if rel := math.Abs(got.ClockSC-want.ClockSC) / want.ClockSC; rel > 1e-9 {
+				t.Errorf("ClockSC: simulated %v vs predicted %v (rel %v)", got.ClockSC, want.ClockSC, rel)
+			}
+			if want.CtrlSC == 0 {
+				if got.CtrlSC != 0 {
+					t.Errorf("CtrlSC: simulated %v on an ungated tree", got.CtrlSC)
+				}
+			} else if rel := math.Abs(got.CtrlSC-want.CtrlSC) / want.CtrlSC; rel > 1e-9 {
+				t.Errorf("CtrlSC: simulated %v vs predicted %v (rel %v)", got.CtrlSC, want.CtrlSC, rel)
+			}
+		})
+	}
+}
+
+func TestNumDomains(t *testing.T) {
+	f := route(t, 30, 3, core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree, Policy: gating.All{}})
+	sm, err := New(f.tree, f.c, f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gating.All: every edge gated → 2N−1 gates + the source domain.
+	if want := 2*30 - 1 + 1; sm.NumDomains() != want {
+		t.Errorf("NumDomains = %d, want %d", sm.NumDomains(), want)
+	}
+}
+
+func TestDomainCapConservation(t *testing.T) {
+	f := route(t, 25, 9, core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree})
+	sm, err := New(f.tree, f.c, f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, d := range sm.Breakdown() {
+		total += d.Cap
+	}
+	// Σ domain caps = all wire + all sink loads + all driver input pins.
+	want := 0.0
+	f.tree.Root.PreOrder(func(n *topology.Node) {
+		want += f.p.WireCap(n.EdgeLen)
+		want += n.LoadCap
+		if n.Driver != nil {
+			want += n.Driver.Cin
+		}
+	})
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("domain caps sum to %v, want %v", total, want)
+	}
+}
+
+func TestGateOnFraction(t *testing.T) {
+	f := route(t, 30, 13, core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree, Policy: gating.All{}})
+	sm, err := New(f.tree, f.c, f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sm.Replay(f.s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GateOnFraction <= 0 || r.GateOnFraction >= 1 {
+		t.Errorf("GateOnFraction = %v, want in (0,1)", r.GateOnFraction)
+	}
+	// A constant stream pins every enable: domains covering instruction 0
+	// stay on, all others stay off, and nothing ever toggles.
+	mono := make(stream.Stream, 100)
+	r2, err := sm.Replay(mono) // all instruction 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.GateOnFraction <= 0 || r2.GateOnFraction >= 1 {
+		t.Errorf("constant replay on-fraction = %v, want in (0,1)", r2.GateOnFraction)
+	}
+	if r2.CtrlSC != 0 {
+		t.Errorf("constant stream must not switch enables, got %v", r2.CtrlSC)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	f := route(t, 10, 17, core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree, Policy: gating.All{}})
+	sm, err := New(f.tree, f.c, f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Replay(stream.Stream{0}); err == nil {
+		t.Error("single-cycle stream must fail")
+	}
+	if _, err := sm.Replay(stream.Stream{0, 1 << 20}); err == nil {
+		t.Error("out-of-range instruction must fail")
+	}
+}
+
+func TestBreakdownSorted(t *testing.T) {
+	f := route(t, 35, 19, core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree})
+	sm, err := New(f.tree, f.c, f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := sm.Breakdown()
+	for i := 1; i < len(bd); i++ {
+		if bd[i].Cap > bd[i-1].Cap {
+			t.Fatal("breakdown not sorted by capacitance")
+		}
+	}
+	gated := 0
+	for _, d := range bd {
+		if d.Gated {
+			gated++
+			if d.Sinks == 0 {
+				t.Error("gated domain without sinks")
+			}
+		}
+	}
+	if gated == 0 {
+		t.Error("expected gated domains")
+	}
+}
+
+// TestNewWorkloadReplay: a tree routed for one workload can be evaluated
+// under another (the adoption use case), and a busier workload must switch
+// more capacitance.
+func TestNewWorkloadReplay(t *testing.T) {
+	f := route(t, 30, 23, core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree})
+	sm, err := New(f.tree, f.c, f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	idle := stream.Markov{Stay: 0.95, Step: 0.05}.Generate(f.d, 3000, rng)
+	busy := stream.IID{}.Generate(f.d, 3000, rng)
+	ri, err := sm.Replay(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sm.Replay(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.CtrlSC <= ri.CtrlSC {
+		t.Errorf("IID workload should toggle enables more: %v vs %v", rb.CtrlSC, ri.CtrlSC)
+	}
+}
+
+// TestReplayAgainstBruteForceDomains re-derives the replay result from an
+// entirely independent formulation: per cycle, walk the tree from the
+// source marking reachable segments (every gate's enable evaluated from
+// the instruction), and sum the capacitance touched.
+func TestReplayAgainstBruteForceDomains(t *testing.T) {
+	f := route(t, 20, 29, core.Options{Tech: tech.Default(), Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree})
+	sm, err := New(f.tree, f.c, f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := f.s[:200]
+	got, err := sm.Replay(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := 0.0
+	for _, instr := range short {
+		var walk func(n *topology.Node, on bool)
+		walk = func(n *topology.Node, on bool) {
+			if n.Driver != nil {
+				// The driver pin hangs above the gate.
+				if on {
+					clock += n.Driver.Cin
+				}
+				if n.Gated() {
+					on = on && n.Instr.Has(instr)
+				}
+			}
+			if on {
+				clock += f.p.WireCap(n.EdgeLen)
+				if n.IsSink() {
+					clock += n.LoadCap
+				}
+			}
+			if !n.IsSink() {
+				walk(n.Left, on)
+				walk(n.Right, on)
+			}
+		}
+		walk(f.tree.Root, true)
+	}
+	want := clock / float64(len(short))
+	if math.Abs(got.ClockSC-want) > 1e-9*(1+want) {
+		t.Errorf("replay %v vs per-cycle tree walk %v", got.ClockSC, want)
+	}
+}

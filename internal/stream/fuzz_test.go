@@ -1,0 +1,28 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzReadTrace: the trace parser must never panic and must only produce
+// streams that validate against the ISA.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("I1\nI2 x3\n0\n")
+	f.Add("# comment\n\nI4\n")
+	f.Add("I1 x999999\n")
+	f.Add("BOGUS\n")
+	f.Add("3 x2\n-1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d := isa.PaperExample()
+		s, err := ReadTrace(strings.NewReader(in), d)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(d); err != nil {
+			t.Fatalf("accepted trace does not validate: %v", err)
+		}
+	})
+}

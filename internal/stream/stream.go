@@ -1,0 +1,266 @@
+// Package stream represents instruction streams — the per-cycle instruction
+// trace the paper obtains from instruction-level simulation of the processor
+// — and provides the probabilistic CPU models used to generate them for the
+// benchmarks.
+//
+// The paper (§5) generates its streams "according to a probabilistic model
+// of the CPU when it executes typical programs". Real traces exhibit
+// *temporal* locality: programs run in phases, so consecutive cycles tend to
+// execute the same or a related instruction. The Markov generator models
+// that with a stay probability (self-loop), a neighbour-step probability
+// (drift to an instruction with an overlapping module set; see isa.Generate)
+// and a jump probability (phase change to a uniformly random instruction).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/isa"
+)
+
+// Stream is a per-cycle instruction trace: element t is the instruction
+// index executed in clock cycle t.
+type Stream []int
+
+// Validate checks that every entry indexes an instruction of d.
+func (s Stream) Validate(d *isa.Description) error {
+	if len(s) == 0 {
+		return errors.New("stream: empty")
+	}
+	for t, k := range s {
+		if k < 0 || k >= d.NumInstr() {
+			return fmt.Errorf("stream: cycle %d has out-of-range instruction %d", t, k)
+		}
+	}
+	return nil
+}
+
+// Counts returns per-instruction occurrence counts over the stream.
+func (s Stream) Counts(numInstr int) []int {
+	c := make([]int, numInstr)
+	for _, k := range s {
+		c[k]++
+	}
+	return c
+}
+
+// PairCounts returns counts[a][b] = number of cycle boundaries where
+// instruction a is followed by instruction b (len(s)−1 boundaries total).
+func (s Stream) PairCounts(numInstr int) [][]int {
+	c := make([][]int, numInstr)
+	for i := range c {
+		c[i] = make([]int, numInstr)
+	}
+	for t := 0; t+1 < len(s); t++ {
+		c[s[t]][s[t+1]]++
+	}
+	return c
+}
+
+// Stats summarizes a stream against its ISA.
+type Stats struct {
+	Cycles       int
+	NumInstr     int
+	AvgUsage     float64 // stream-weighted Ave(M(I)): mean fraction of modules active per cycle
+	StayFraction float64 // fraction of cycle boundaries with no instruction change
+}
+
+// ComputeStats derives Stats for s under ISA d.
+func ComputeStats(s Stream, d *isa.Description) Stats {
+	st := Stats{Cycles: len(s), NumInstr: d.NumInstr()}
+	if len(s) == 0 {
+		return st
+	}
+	used := 0
+	for _, k := range s {
+		used += len(d.Uses(k))
+	}
+	st.AvgUsage = float64(used) / float64(len(s)*d.NumModules)
+	stay := 0
+	for t := 0; t+1 < len(s); t++ {
+		if s[t] == s[t+1] {
+			stay++
+		}
+	}
+	if len(s) > 1 {
+		st.StayFraction = float64(stay) / float64(len(s)-1)
+	}
+	return st
+}
+
+// Model generates instruction streams for an ISA.
+type Model interface {
+	// Generate produces a stream of the given length.
+	Generate(d *isa.Description, length int, rng *rand.Rand) Stream
+}
+
+// IID draws every cycle's instruction independently from a weight vector
+// (uniform when Weights is nil). It has no temporal locality and produces
+// pessimistically high enable-transition probabilities; it exists for
+// ablation against the Markov model.
+type IID struct {
+	Weights []float64 // optional per-instruction weights; nil = uniform
+}
+
+// Generate implements Model.
+func (m IID) Generate(d *isa.Description, length int, rng *rand.Rand) Stream {
+	k := d.NumInstr()
+	cum := cumulative(m.Weights, k)
+	s := make(Stream, length)
+	for t := range s {
+		s[t] = pick(cum, rng)
+	}
+	return s
+}
+
+// Markov is the probabilistic CPU model used for the paper's benchmarks: a
+// first-order Markov walk over instruction indices.
+//
+// At each cycle boundary the processor
+//   - repeats the current instruction with probability Stay (pipeline
+//     stalls, tight loops),
+//   - steps to an adjacent instruction index with probability Step
+//     (phase drift — adjacent indices have overlapping module windows when
+//     the ISA comes from isa.Generate),
+//   - jumps to a uniformly random instruction otherwise (phase change).
+type Markov struct {
+	Stay float64 // probability of repeating the instruction (default 0.40)
+	Step float64 // probability of moving to index ±1 (default 0.25)
+}
+
+// DefaultMarkov returns the stream model used by the r1–r5 experiments.
+func DefaultMarkov() Markov { return Markov{Stay: 0.40, Step: 0.25} }
+
+// Validate checks the model parameters.
+func (m Markov) Validate() error {
+	if m.Stay < 0 || m.Step < 0 || m.Stay+m.Step > 1 {
+		return errors.New("stream: Markov needs Stay, Step ≥ 0 with Stay+Step ≤ 1")
+	}
+	return nil
+}
+
+// Generate implements Model.
+func (m Markov) Generate(d *isa.Description, length int, rng *rand.Rand) Stream {
+	k := d.NumInstr()
+	s := make(Stream, length)
+	cur := rng.IntN(k)
+	for t := 0; t < length; t++ {
+		s[t] = cur
+		r := rng.Float64()
+		switch {
+		case r < m.Stay:
+			// stay
+		case r < m.Stay+m.Step:
+			if rng.IntN(2) == 0 {
+				cur = (cur + 1) % k
+			} else {
+				cur = (cur + k - 1) % k
+			}
+		default:
+			cur = rng.IntN(k)
+		}
+	}
+	return s
+}
+
+// TransitionMatrix returns the k×k one-step transition matrix of the
+// Markov CPU model: T[a][b] = P(next instruction is b | current is a).
+func (m Markov) TransitionMatrix(k int) [][]float64 {
+	jump := 1 - m.Stay - m.Step
+	T := make([][]float64, k)
+	for a := 0; a < k; a++ {
+		row := make([]float64, k)
+		for b := 0; b < k; b++ {
+			row[b] = jump / float64(k) // uniform jump can land anywhere, including a
+		}
+		row[a] += m.Stay
+		if k == 1 {
+			row[a] += m.Step
+		} else {
+			row[(a+1)%k] += m.Step / 2
+			row[(a+k-1)%k] += m.Step / 2
+		}
+		T[a] = row
+	}
+	return T
+}
+
+// Stationary returns the stationary distribution of the Markov CPU model.
+// The chain is doubly stochastic (stay, symmetric steps, uniform jumps), so
+// the stationary distribution is exactly uniform; it is computed by power
+// iteration anyway so the function stays correct if the model gains
+// asymmetric variants.
+func (m Markov) Stationary(k int) []float64 {
+	T := m.TransitionMatrix(k)
+	pi := make([]float64, k)
+	for i := range pi {
+		pi[i] = 1 / float64(k)
+	}
+	next := make([]float64, k)
+	for iter := 0; iter < 200; iter++ {
+		for b := 0; b < k; b++ {
+			next[b] = 0
+		}
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				next[b] += pi[a] * T[a][b]
+			}
+		}
+		delta := 0.0
+		for i := range pi {
+			delta += abs(next[i] - pi[i])
+			pi[i] = next[i]
+		}
+		if delta < 1e-15 {
+			break
+		}
+	}
+	return pi
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func cumulative(weights []float64, k int) []float64 {
+	cum := make([]float64, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		total += w
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+func pick(cum []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	for i, c := range cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// PaperExample returns a 20-cycle stream over isa.PaperExample() consistent
+// with the statistics quoted in §3.2 of the paper:
+//
+//   - P(M1) = P(I1)+P(I2) = 15/20 = 0.75
+//   - P(M5 ∨ M6) = P(I1)+P(I3) = 11/20 = 0.55
+//   - the pair I1→I3 occurs 3 times (probability 3/19 ≈ 0.158, Table 3)
+func PaperExample() Stream {
+	// Instruction indices are 0-based: 0=I1, 1=I2, 2=I3, 3=I4.
+	return Stream{0, 1, 3, 0, 2, 1, 0, 1, 1, 0, 2, 0, 1, 0, 2, 0, 1, 0, 3, 1}
+}

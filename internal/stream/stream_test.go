@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestValidate(t *testing.T) {
+	d := isa.PaperExample()
+	if err := (Stream{}).Validate(d); err == nil {
+		t.Error("empty stream must fail")
+	}
+	if err := (Stream{0, 4}).Validate(d); err == nil {
+		t.Error("out-of-range instruction must fail")
+	}
+	if err := (Stream{0, 3, 2}).Validate(d); err != nil {
+		t.Errorf("valid stream rejected: %v", err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := Stream{0, 1, 1, 2, 0, 0}
+	c := s.Counts(4)
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("Counts[%d] = %d, want %d", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPairCounts(t *testing.T) {
+	s := Stream{0, 1, 1, 0}
+	pc := s.PairCounts(2)
+	if pc[0][1] != 1 || pc[1][1] != 1 || pc[1][0] != 1 || pc[0][0] != 0 {
+		t.Errorf("PairCounts = %v", pc)
+	}
+	total := 0
+	for _, row := range pc {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != len(s)-1 {
+		t.Errorf("pair total %d, want %d", total, len(s)-1)
+	}
+}
+
+func TestPaperExampleStatistics(t *testing.T) {
+	d := isa.PaperExample()
+	s := PaperExample()
+	if err := s.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 20 {
+		t.Fatalf("paper stream has %d cycles, want 20", len(s))
+	}
+	c := s.Counts(4)
+	// P(M1) = P(I1)+P(I2) = 15/20 = 0.75 (§3.2 of the paper).
+	if c[0]+c[1] != 15 {
+		t.Errorf("count(I1)+count(I2) = %d, want 15", c[0]+c[1])
+	}
+	// P(M5 ∨ M6) = P(I1)+P(I3) = 11/20 = 0.55.
+	if c[0]+c[2] != 11 {
+		t.Errorf("count(I1)+count(I3) = %d, want 11", c[0]+c[2])
+	}
+	// Table 3: the pair I1→I3 occurs three times.
+	if pc := s.PairCounts(4); pc[0][2] != 3 {
+		t.Errorf("I1→I3 pairs = %d, want 3", pc[0][2])
+	}
+}
+
+func TestIIDGenerate(t *testing.T) {
+	d := isa.PaperExample()
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := IID{}.Generate(d, 20000, rng)
+	if err := s.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counts(4)
+	for k, n := range c {
+		frac := float64(n) / float64(len(s))
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("uniform IID: P(I%d) = %v, want ≈0.25", k+1, frac)
+		}
+	}
+	// Weighted IID respects the weights.
+	s = IID{Weights: []float64{3, 1, 0, 0}}.Generate(d, 20000, rng)
+	c = s.Counts(4)
+	if c[2] != 0 || c[3] != 0 {
+		t.Error("zero-weight instructions must not appear")
+	}
+	if frac := float64(c[0]) / float64(len(s)); math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("weighted IID: P(I1) = %v, want ≈0.75", frac)
+	}
+}
+
+func TestMarkovValidate(t *testing.T) {
+	for _, m := range []Markov{{Stay: -0.1}, {Step: -0.1}, {Stay: 0.7, Step: 0.4}} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Markov %+v should fail validation", m)
+		}
+	}
+	if err := DefaultMarkov().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+}
+
+func TestMarkovLocality(t *testing.T) {
+	d := isa.PaperExample()
+	rng := rand.New(rand.NewPCG(3, 4))
+	m := Markov{Stay: 0.6, Step: 0.25}
+	s := m.Generate(d, 50000, rng)
+	if err := s.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(s, d)
+	// Stay fraction ≈ Stay + Step·0 + Jump·(1/K): 0.6 + 0.15/4 ≈ 0.64.
+	if math.Abs(st.StayFraction-0.6375) > 0.02 {
+		t.Errorf("stay fraction %v, want ≈0.64", st.StayFraction)
+	}
+	// An IID stream with the same marginals changes instruction far more often.
+	iid := IID{}.Generate(d, 50000, rng)
+	if iidStay := ComputeStats(iid, d).StayFraction; iidStay >= st.StayFraction {
+		t.Errorf("IID stay %v should be below Markov stay %v", iidStay, st.StayFraction)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := isa.PaperExample()
+	s := Stream{0, 0, 1} // I1 (4 modules), I1, I2 (2 modules)
+	st := ComputeStats(s, d)
+	if st.Cycles != 3 || st.NumInstr != 4 {
+		t.Errorf("shape wrong: %+v", st)
+	}
+	if want := (4.0 + 4 + 2) / (3 * 6); st.AvgUsage != want {
+		t.Errorf("AvgUsage = %v, want %v", st.AvgUsage, want)
+	}
+	if st.StayFraction != 0.5 {
+		t.Errorf("StayFraction = %v, want 0.5", st.StayFraction)
+	}
+	if got := ComputeStats(Stream{}, d); got.Cycles != 0 {
+		t.Errorf("empty stats: %+v", got)
+	}
+}
+
+func TestMarkovDeterminism(t *testing.T) {
+	d := isa.PaperExample()
+	a := DefaultMarkov().Generate(d, 1000, rand.New(rand.NewPCG(9, 9)))
+	b := DefaultMarkov().Generate(d, 1000, rand.New(rand.NewPCG(9, 9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+	}
+}

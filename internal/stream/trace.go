@@ -1,0 +1,101 @@
+// Trace import: reading instruction streams from text files, so activity
+// can be extracted from real instruction-level simulation output instead of
+// the synthetic CPU models.
+//
+// Format: one instruction per line — either a 0-based index or an
+// instruction name resolved against the ISA (case-sensitive). Blank lines
+// and '#' comments are skipped. A repeat count may follow the instruction
+// ("MUL x12" executes MUL for 12 consecutive cycles), which is how trace
+// compaction tools commonly emit basic blocks.
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// ReadTrace parses an instruction trace for ISA d.
+func ReadTrace(r io.Reader, d *isa.Description) (Stream, error) {
+	names := make(map[string]int, d.NumInstr())
+	for k := 0; k < d.NumInstr(); k++ {
+		names[d.Name(k)] = k
+	}
+	var s Stream
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("stream: line %d: expected 'instr [xCOUNT]', got %q", lineNo, line)
+		}
+		k, err := resolve(fields[0], names, d.NumInstr())
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+		}
+		repeat := 1
+		if len(fields) == 2 {
+			rep, ok := strings.CutPrefix(fields[1], "x")
+			if !ok {
+				return nil, fmt.Errorf("stream: line %d: repeat must look like x12, got %q", lineNo, fields[1])
+			}
+			repeat, err = strconv.Atoi(rep)
+			if err != nil || repeat <= 0 {
+				return nil, fmt.Errorf("stream: line %d: bad repeat %q", lineNo, fields[1])
+			}
+		}
+		for i := 0; i < repeat; i++ {
+			s = append(s, k)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(d); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func resolve(token string, names map[string]int, numInstr int) (int, error) {
+	if k, ok := names[token]; ok {
+		return k, nil
+	}
+	k, err := strconv.Atoi(token)
+	if err != nil {
+		return 0, fmt.Errorf("unknown instruction %q", token)
+	}
+	if k < 0 || k >= numInstr {
+		return 0, fmt.Errorf("instruction index %d out of range [0, %d)", k, numInstr)
+	}
+	return k, nil
+}
+
+// WriteTrace emits the stream in the trace format, run-length compacted.
+func WriteTrace(w io.Writer, s Stream, d *isa.Description) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# instruction trace: %d cycles, %d instructions\n", len(s), d.NumInstr())
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		if run := j - i; run > 1 {
+			fmt.Fprintf(bw, "%s x%d\n", d.Name(s[i]), run)
+		} else {
+			fmt.Fprintf(bw, "%s\n", d.Name(s[i]))
+		}
+		i = j
+	}
+	return bw.Flush()
+}

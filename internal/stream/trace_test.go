@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestReadTraceByNameAndIndex(t *testing.T) {
+	d := isa.PaperExample() // names I1..I4
+	in := `
+# a comment
+I1
+I3
+2
+I2 x3
+0
+`
+	s, err := ReadTrace(strings.NewReader(in), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stream{0, 2, 2, 1, 1, 1, 0}
+	if len(s) != len(want) {
+		t.Fatalf("stream = %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("stream = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	d := isa.PaperExample()
+	cases := map[string]string{
+		"unknown name":   "BOGUS\n",
+		"bad index":      "9\n",
+		"negative index": "-1\n",
+		"bad repeat":     "I1 y3\n",
+		"zero repeat":    "I1 x0\n",
+		"extra fields":   "I1 x2 x3\n",
+		"empty trace":    "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in), d); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	d := isa.PaperExample()
+	orig := PaperExample()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip changed length: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("round trip differs at cycle %d", i)
+		}
+	}
+}
+
+func TestWriteTraceCompaction(t *testing.T) {
+	d := isa.PaperExample()
+	s := Stream{0, 0, 0, 0, 1, 2, 2}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, s, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "I1 x4") || !strings.Contains(out, "I3 x2") {
+		t.Errorf("runs not compacted:\n%s", out)
+	}
+	if strings.Contains(out, "I2 x") {
+		t.Error("single occurrences must not carry a repeat")
+	}
+}

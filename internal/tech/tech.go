@@ -1,0 +1,162 @@
+// Package tech holds the electrical and physical technology parameters that
+// drive every delay, power and area computation in the library.
+//
+// Units are chosen once and used consistently everywhere:
+//
+//   - distance:    λ (half the minimum feature size; coordinates, wire lengths)
+//   - resistance:  Ω
+//   - capacitance: fF
+//   - time:        ps  (Ω·fF = 10⁻¹⁵·Ω·F = 1 fs·10³ = 1e-3 ps; we fold the
+//     constant into the unit wire parameters so Elmore products come out in ps)
+//   - area:        λ²
+//
+// The absolute values model a generic 0.5 µm-era process, matching the
+// DATE'98 setting of the paper. Only the *ratios* (unit wire capacitance vs.
+// gate input capacitance, buffer = half-sized AND gate) matter for the
+// trade-offs the paper studies, and those ratios follow the paper.
+package tech
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Driver models an active element (AND masking gate or plain buffer)
+// inserted at the top of a clock-tree edge. A Driver shields its downstream
+// capacitance from the upstream tree: the tree above sees only Cin, while
+// the subtree below is driven through Rout after the intrinsic delay Dint.
+type Driver struct {
+	Name string  // human-readable label ("and2", "buf")
+	Cin  float64 // input capacitance presented upstream (fF)
+	Rout float64 // output (driving) resistance (Ω)
+	Dint float64 // intrinsic delay (ps)
+	Area float64 // layout area (λ²)
+}
+
+// Delay returns the delay contribution of the driver when loaded with load fF:
+// Dint + Rout·load, in ps.
+func (d Driver) Delay(load float64) float64 {
+	return d.Dint + d.Rout*load*PsPerOhmFF
+}
+
+// PsPerOhmFF converts Ω·fF products into picoseconds (1 Ω·fF = 1e-3 ps).
+const PsPerOhmFF = 1e-3
+
+// Scaled returns the driver at s times the unit drive strength: s-fold
+// input capacitance and area, 1/s output resistance, unchanged intrinsic
+// delay (dominated by the logic stages, not the output stage). s must be
+// positive.
+func (d Driver) Scaled(s float64) Driver {
+	if s <= 0 {
+		panic("tech: non-positive drive strength")
+	}
+	d.Name = fmt.Sprintf("%s_x%g", d.Name, s)
+	d.Cin *= s
+	d.Rout /= s
+	d.Area *= s
+	return d
+}
+
+// Params collects every technology constant used by the router, the
+// switched-capacitance evaluator and the area model.
+type Params struct {
+	// Clock-tree interconnect.
+	WireResPerLambda float64 // unit wire resistance r (Ω/λ)
+	WireCapPerLambda float64 // unit wire capacitance c (fF/λ)
+	WirePitch        float64 // effective routed wire pitch for area accounting (λ)
+
+	// Controller (enable-signal) interconnect. The star net is thinner and
+	// slower than the clock spine; only its capacitance matters for power.
+	CtrlCapPerLambda float64 // unit wire capacitance of an EN net (fF/λ)
+	CtrlPitch        float64 // routed pitch of an EN net (λ)
+
+	// Active elements.
+	Gate   Driver // AND masking gate (also acts as a buffer when enabled)
+	Buffer Driver // plain clock buffer; the paper sets it to half an AND gate
+
+	// Driver sizing ("these gates also serve as buffers and can be sized
+	// to adjust the phase delay", §1). DriveStrengths lists the available
+	// multiples of the unit gate/buffer; SizingTargetPs is the largest
+	// Rout·C_load delay a driver may contribute before the router steps up
+	// to the next strength. Both are used only when the router is asked to
+	// size drivers.
+	DriveStrengths []float64
+	SizingTargetPs float64
+}
+
+// PickStrength returns the smallest available drive strength whose output
+// delay driving load stays at or below the sizing target (the largest
+// strength if none suffices). The unit driver d is the baseline.
+func (p Params) PickStrength(d Driver, load float64) float64 {
+	s := 1.0
+	for _, cand := range p.DriveStrengths {
+		s = cand
+		if d.Rout/cand*load*PsPerOhmFF <= p.SizingTargetPs {
+			break
+		}
+	}
+	return s
+}
+
+// Default returns the parameter set used throughout the experiments.
+// The buffer is exactly half the size of the AND gate (half input
+// capacitance, double output resistance, half area), as stated in §5.1 of
+// the paper.
+func Default() Params {
+	gate := Driver{Name: "and2", Cin: 30, Rout: 200, Dint: 60, Area: 1600}
+	buf := Driver{Name: "buf", Cin: gate.Cin / 2, Rout: gate.Rout * 2, Dint: 40, Area: gate.Area / 2}
+	return Params{
+		WireResPerLambda: 0.03,
+		WireCapPerLambda: 0.05,
+		WirePitch:        4,
+		CtrlCapPerLambda: 0.05,
+		CtrlPitch:        3,
+		Gate:             gate,
+		Buffer:           buf,
+		DriveStrengths:   []float64{1, 2, 4, 8},
+		SizingTargetPs:   60,
+	}
+}
+
+// WireDelay returns the Elmore delay (ps) of a wire of the given length (λ)
+// terminated by load (fF): r·l·(c·l/2 + load).
+func (p Params) WireDelay(length, load float64) float64 {
+	return p.WireResPerLambda * length * (p.WireCapPerLambda*length/2 + load) * PsPerOhmFF
+}
+
+// WireCap returns the total capacitance (fF) of a clock wire of the given
+// length (λ).
+func (p Params) WireCap(length float64) float64 {
+	return p.WireCapPerLambda * length
+}
+
+// CtrlWireCap returns the total capacitance (fF) of an enable net of the
+// given length (λ).
+func (p Params) CtrlWireCap(length float64) float64 {
+	return p.CtrlCapPerLambda * length
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.WireResPerLambda <= 0:
+		return errors.New("tech: wire resistance must be positive")
+	case p.WireCapPerLambda <= 0:
+		return errors.New("tech: wire capacitance must be positive")
+	case p.CtrlCapPerLambda <= 0:
+		return errors.New("tech: controller wire capacitance must be positive")
+	case p.WirePitch <= 0 || p.CtrlPitch <= 0:
+		return errors.New("tech: wire pitches must be positive")
+	}
+	for _, d := range []Driver{p.Gate, p.Buffer} {
+		if d.Cin <= 0 || d.Rout <= 0 || d.Dint < 0 || d.Area <= 0 {
+			return fmt.Errorf("tech: driver %q has non-physical parameters", d.Name)
+		}
+	}
+	for _, s := range p.DriveStrengths {
+		if s <= 0 {
+			return errors.New("tech: drive strengths must be positive")
+		}
+	}
+	return nil
+}

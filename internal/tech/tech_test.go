@@ -1,0 +1,122 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferIsHalfGate(t *testing.T) {
+	p := Default()
+	// §5.1: "the size of a buffer is assumed to be half the size of
+	// AND-gates" — half input cap, double drive resistance, half area.
+	if p.Buffer.Cin != p.Gate.Cin/2 {
+		t.Errorf("buffer Cin %v, want %v", p.Buffer.Cin, p.Gate.Cin/2)
+	}
+	if p.Buffer.Rout != 2*p.Gate.Rout {
+		t.Errorf("buffer Rout %v, want %v", p.Buffer.Rout, 2*p.Gate.Rout)
+	}
+	if p.Buffer.Area != p.Gate.Area/2 {
+		t.Errorf("buffer area %v, want %v", p.Buffer.Area, p.Gate.Area/2)
+	}
+}
+
+func TestWireDelay(t *testing.T) {
+	p := Default()
+	// r·l·(c·l/2 + load)·1e-3 by hand for l = 1000, load = 100.
+	want := p.WireResPerLambda * 1000 * (p.WireCapPerLambda*500 + 100) * 1e-3
+	if got := p.WireDelay(1000, 100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WireDelay = %v, want %v", got, want)
+	}
+	if p.WireDelay(0, 100) != 0 {
+		t.Error("zero-length wire has zero delay")
+	}
+}
+
+func TestDriverDelay(t *testing.T) {
+	p := Default()
+	want := p.Gate.Dint + p.Gate.Rout*200*1e-3
+	if got := p.Gate.Delay(200); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Delay = %v, want %v", got, want)
+	}
+}
+
+func TestWireCaps(t *testing.T) {
+	p := Default()
+	if got := p.WireCap(100); got != 100*p.WireCapPerLambda {
+		t.Errorf("WireCap = %v", got)
+	}
+	if got := p.CtrlWireCap(100); got != 100*p.CtrlCapPerLambda {
+		t.Errorf("CtrlWireCap = %v", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	g := Default().Gate
+	s := g.Scaled(4)
+	if s.Cin != 4*g.Cin || s.Rout != g.Rout/4 || s.Area != 4*g.Area || s.Dint != g.Dint {
+		t.Errorf("Scaled(4) wrong: %+v", s)
+	}
+	if s.Name == g.Name {
+		t.Error("scaled driver must be distinguishable by name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scaled(0) must panic")
+		}
+	}()
+	g.Scaled(0)
+}
+
+func TestPickStrength(t *testing.T) {
+	p := Default()
+	// Tiny load: unit strength suffices.
+	if s := p.PickStrength(p.Gate, 10); s != 1 {
+		t.Errorf("tiny load picked x%v", s)
+	}
+	// Load needing the delay target 60 ps at Rout 200: 400 fF → x2
+	// (200/2·400·1e-3 = 40 ps ≤ 60).
+	if s := p.PickStrength(p.Gate, 400); s != 2 {
+		t.Errorf("400 fF picked x%v, want 2", s)
+	}
+	// Enormous load: saturates at the largest strength.
+	if s := p.PickStrength(p.Gate, 1e9); s != 8 {
+		t.Errorf("huge load picked x%v, want 8", s)
+	}
+	// Monotone in load.
+	prev := 0.0
+	for _, load := range []float64{1, 100, 500, 1000, 3000, 8000, 1e6} {
+		s := p.PickStrength(p.Gate, load)
+		if s < prev {
+			t.Fatalf("PickStrength not monotone at %v", load)
+		}
+		prev = s
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.WireResPerLambda = 0 },
+		func(p *Params) { p.WireCapPerLambda = -1 },
+		func(p *Params) { p.CtrlCapPerLambda = 0 },
+		func(p *Params) { p.WirePitch = 0 },
+		func(p *Params) { p.CtrlPitch = -1 },
+		func(p *Params) { p.Gate.Cin = 0 },
+		func(p *Params) { p.Buffer.Rout = -5 },
+		func(p *Params) { p.Gate.Area = 0 },
+		func(p *Params) { p.Buffer.Dint = -1 },
+		func(p *Params) { p.DriveStrengths = []float64{1, -2} },
+	}
+	for i, mutate := range mutations {
+		p := Default()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+}
