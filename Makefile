@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test test-full bench race clean
+
+# Default: build everything, vet, and run the fast test suite.
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast suite (-short trims the golden r1-r5 equivalence run to r1-r2).
+test:
+	$(GO) test -short ./...
+
+# Full suite, including the r1-r5 golden bit-identity tests.
+test-full:
+	$(GO) test ./...
+
+# Router benchmarks with the fast-path counters as custom metrics.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkRoute|BenchmarkConstructScaling' -benchmem .
+
+# Race detector over the packages with Workers > 1 parallel scans.
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/activity/...
+
+clean:
+	$(GO) clean ./...

@@ -111,13 +111,25 @@ func BenchmarkConstructScaling(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(tc.name, func(b *testing.B) {
+			var stats gatedclock.Stats
 			for i := 0; i < b.N; i++ {
-				if _, err := d.Route(gatedclock.GatedReducedOptions()); err != nil {
+				res, err := d.Route(gatedclock.GatedReducedOptions())
+				if err != nil {
 					b.Fatal(err)
 				}
+				stats = res.Stats
 			}
+			reportRouterStats(b, stats)
 		})
 	}
+}
+
+// reportRouterStats surfaces the fast-path counters alongside ns/op so
+// regressions in pruning or caching are visible in benchmark diffs.
+func reportRouterStats(b *testing.B, s gatedclock.Stats) {
+	b.ReportMetric(float64(s.PairEvals), "evals/op")
+	b.ReportMetric(float64(s.PairEvalsSkipped), "skipped/op")
+	b.ReportMetric(s.CacheHitRate(), "cache-hit-rate")
 }
 
 // --- Per-style routing on a fixed mid-size instance ---
@@ -143,11 +155,15 @@ func BenchmarkRoute(b *testing.B) {
 		{"gated-red", gatedclock.GatedReducedOptions()},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			var stats gatedclock.Stats
 			for i := 0; i < b.N; i++ {
-				if _, err := d.Route(tc.opts); err != nil {
+				res, err := d.Route(tc.opts)
+				if err != nil {
 					b.Fatal(err)
 				}
+				stats = res.Stats
 			}
+			reportRouterStats(b, stats)
 		})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	gatedclock "repro"
 	"repro/internal/bench"
@@ -29,6 +30,9 @@ func main() {
 	dumpTree := flag.Bool("tree", false, "print the routed tree layout")
 	drawMap := flag.Bool("draw", false, "render an ASCII floorplan of the routed tree")
 	simulate := flag.Bool("simulate", false, "replay the benchmark's instruction stream cycle-by-cycle and compare with the probabilistic report")
+	stats := flag.Bool("stats", false, "print router statistics: pair evals, pruning, cache hits, phase timings")
+	workers := flag.Int("workers", 0, "goroutines for candidate-pair scans (0 = GOMAXPROCS)")
+	reference := flag.Bool("reference", false, "route with the unaccelerated reference greedy (validation/baseline)")
 	domains := flag.Int("domains", 0, "print the N largest gating domains")
 	verilogOut := flag.String("verilog", "", "write a structural Verilog netlist to this file")
 	spiceOut := flag.String("spice", "", "write a SPICE RC deck to this file")
@@ -38,6 +42,7 @@ func main() {
 	if err := run(runCfg{
 		benchName: *benchName, inFile: *inFile, mode: *mode, controllers: *controllers,
 		dumpTree: *dumpTree, drawMap: *drawMap, simulate: *simulate, domains: *domains,
+		stats: *stats, workers: *workers, reference: *reference,
 		verilogOut: *verilogOut, spiceOut: *spiceOut, svgOut: *svgOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gcr:", err)
@@ -51,6 +56,8 @@ type runCfg struct {
 	controllers, domains    int
 	dumpTree, drawMap       bool
 	simulate                bool
+	stats, reference        bool
+	workers                 int
 	verilogOut, spiceOut    string
 	svgOut                  string
 }
@@ -104,12 +111,17 @@ func run(cfg runCfg) error {
 		}
 		opts.Controller = c
 	}
+	opts.Workers = cfg.workers
+	opts.Reference = cfg.reference
 
 	res, err := d.Route(opts)
 	if err != nil {
 		return err
 	}
 	printReport(b, mode, res)
+	if cfg.stats {
+		printStats(res.Stats)
+	}
 	if dumpTree {
 		printTree(res.Tree)
 	}
@@ -200,6 +212,21 @@ func printReport(b *gatedclock.Benchmark, mode string, res *gatedclock.Result) {
 	t.AddRow("phase delay (ps)", report.F(rep.MaxDelayPs, 1))
 	t.AddRow("skew (ps)", fmt.Sprintf("%.3g", rep.SkewPs))
 	t.AddRow("merges / snakes", fmt.Sprintf("%d / %d", res.Stats.Merges, res.Stats.Snakes))
+	t.Fprint(os.Stdout)
+}
+
+// printStats renders the construction statistics of the fast greedy: how
+// many candidate pairs were fully evaluated, pruned by the lower bound or
+// served by the memo, and where the wall time went.
+func printStats(s gatedclock.Stats) {
+	t := report.New("router statistics", "Counter", "Value")
+	t.AddRow("pair evals (merges solved)", report.I(s.PairEvals))
+	t.AddRow("pair evals skipped (lower bound)", report.I(s.PairEvalsSkipped))
+	t.AddRow("pair lookups cached (memo)", report.I(s.PairEvalsCached))
+	t.AddRow("cache hit rate", fmt.Sprintf("%.1f%%", s.CacheHitRate()*100))
+	t.AddRow("phase: initial scan", s.PhaseInit.Round(time.Microsecond).String())
+	t.AddRow("phase: greedy merge loop", s.PhaseGreedy.Round(time.Microsecond).String())
+	t.AddRow("phase: embed + validate", s.PhaseEmbed.Round(time.Microsecond).String())
 	t.Fprint(os.Stdout)
 }
 

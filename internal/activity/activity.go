@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 	"repro/internal/stream"
@@ -36,13 +37,50 @@ import (
 // when two subtrees merge.
 type InstrSet = isa.Bitset
 
-// Profile holds the tables extracted from one stream scan.
+// Profile holds the tables extracted from one stream scan, plus derived
+// tables that let the router query the algebra incrementally (see Handle).
 type Profile struct {
 	ISA    *isa.Description
 	Cycles int
 
 	freq []float64   // IFT: freq[k] = P(I_k)
 	pair [][]float64 // ITMAT: pair[a][b] = P(instr a followed by instr b)
+
+	// Derived, built once by finalize():
+	rc       []float64   // rc[a] = Σ_b pair[a][b] + Σ_b pair[b][a] (row+col sum)
+	sym      [][]float64 // sym[a][b] = pair[a][b] + pair[b][a]
+	wordFreq []float64   // wordFreq[w] = Σ freq over instructions in word w
+	tailMask uint64      // valid-bit mask of the last bitset word
+}
+
+// finalize builds the derived tables used by the incremental Ptr algebra:
+// rc feeds the linear term L(S), sym feeds the quadratic self-term Q(S),
+// and wordFreq holds per-word frequency partial sums so P of a saturated
+// word is one add. Called by every constructor.
+func (p *Profile) finalize() {
+	k := p.ISA.NumInstr()
+	p.tailMask = ^uint64(0)
+	if r := k % 64; r != 0 {
+		p.tailMask = 1<<uint(r) - 1
+	}
+	p.rc = make([]float64, k)
+	p.sym = make([][]float64, k)
+	for a := 0; a < k; a++ {
+		p.sym[a] = make([]float64, k)
+	}
+	for a := 0; a < k; a++ {
+		rs, cs := 0.0, 0.0
+		for b := 0; b < k; b++ {
+			rs += p.pair[a][b]
+			cs += p.pair[b][a]
+			p.sym[a][b] = p.pair[a][b] + p.pair[b][a]
+		}
+		p.rc[a] = rs + cs
+	}
+	p.wordFreq = make([]float64, (k+63)/64)
+	for i := 0; i < k; i++ {
+		p.wordFreq[i/64] += p.freq[i]
+	}
 }
 
 // NewProfile scans the stream once (O(B)) and builds the IFT and ITMAT.
@@ -68,6 +106,7 @@ func NewProfile(d *isa.Description, s stream.Stream) (*Profile, error) {
 			p.pair[a][b] = float64(pc[a][b]) / boundaries
 		}
 	}
+	p.finalize()
 	return p, nil
 }
 
@@ -110,6 +149,7 @@ func NewProfileFromChain(d *isa.Description, pi []float64, T [][]float64) (*Prof
 	if math.Abs(totalPi-1) > 1e-9 {
 		return nil, fmt.Errorf("activity: stationary distribution sums to %v", totalPi)
 	}
+	p.finalize()
 	return p, nil
 }
 
@@ -155,11 +195,16 @@ func Union(a, b InstrSet) InstrSet {
 
 // SignalProb returns P(EN) for a subtree with instruction set s:
 // the summed IFT frequency of the instructions in s (Equation 2). O(K).
+//
+// Word-parallel: set bits are walked via bits.TrailingZeros64 in ascending
+// index order, so the floating-point additions happen in exactly the same
+// sequence as a per-bit scan — results are bitwise identical.
 func (p *Profile) SignalProb(s InstrSet) float64 {
 	total := 0.0
-	for k := 0; k < p.ISA.NumInstr(); k++ {
-		if s.Has(k) {
-			total += p.freq[k]
+	for w, word := range s {
+		base := w << 6
+		for ; word != 0; word &= word - 1 {
+			total += p.freq[base+bits.TrailingZeros64(word)]
 		}
 	}
 	return total
@@ -169,9 +214,11 @@ func (p *Profile) SignalProb(s InstrSet) float64 {
 // the union — the inner loop of the router's pair-cost evaluation.
 func (p *Profile) SignalProbUnion(a, b InstrSet) float64 {
 	total := 0.0
-	for k := 0; k < p.ISA.NumInstr(); k++ {
-		if a.Has(k) || b.Has(k) {
-			total += p.freq[k]
+	for w, word := range a {
+		word |= b[w]
+		base := w << 6
+		for ; word != 0; word &= word - 1 {
+			total += p.freq[base+bits.TrailingZeros64(word)]
 		}
 	}
 	return total
@@ -181,15 +228,35 @@ func (p *Profile) SignalProbUnion(a, b InstrSet) float64 {
 // probability that consecutive cycles differ in whether their instruction
 // belongs to s — i.e. the OR of the activation tags over the subtree's
 // modules is 01 or 10 (§3.3). O(K²) over the ITMAT.
+//
+// For each row a the inner sum runs over b with s.Has(b) != s.Has(a), and
+// like SignalProb it walks those b in ascending order word-parallel, so
+// the result is bitwise identical to the per-bit double loop.
 func (p *Profile) TransProb(s InstrSet) float64 {
 	k := p.ISA.NumInstr()
+	last := len(s) - 1
 	total := 0.0
 	for a := 0; a < k; a++ {
-		inA := s.Has(a)
 		row := p.pair[a]
-		for b := 0; b < k; b++ {
-			if inA != s.Has(b) {
-				total += row[b]
+		if s.Has(a) {
+			// Sum row[b] over b ∉ s.
+			for w, word := range s {
+				word = ^word
+				if w == last {
+					word &= p.tailMask
+				}
+				base := w << 6
+				for ; word != 0; word &= word - 1 {
+					total += row[base+bits.TrailingZeros64(word)]
+				}
+			}
+		} else {
+			// Sum row[b] over b ∈ s.
+			for w, word := range s {
+				base := w << 6
+				for ; word != 0; word &= word - 1 {
+					total += row[base+bits.TrailingZeros64(word)]
+				}
 			}
 		}
 	}
@@ -327,4 +394,116 @@ func (p *Profile) CheckConsistency(s stream.Stream, modules []int, tol float64) 
 		return fmt.Errorf("activity: Ptr mismatch for %v: table %v, brute %v", modules, got, want)
 	}
 	return nil
+}
+
+// --- Incremental activity algebra ---
+//
+// Ptr(S) admits a decomposition that turns the O(K²) ITMAT sum into state
+// maintainable under set growth. With L(S) = Σ_{a∈S} (rowSum[a]+colSum[a])
+// and the quadratic self-term Q(S) = Σ_{a,b∈S} pair[a][b],
+//
+//	Ptr(S) = L(S) − 2·Q(S),
+//
+// because the full row+col sum of each a ∈ S counts every (in, out) and
+// (out, in) boundary pair once, overcounting the (in, in) pairs by exactly
+// twice their mass. Folding one instruction d into S costs O(|S|):
+//
+//	Q(S∪{d}) = Q(S) + pair[d][d] + Σ_{x∈S} (pair[x][d] + pair[d][x]),
+//
+// so Ptr(A∪B) from A's state costs O(K·|B\A|) instead of O(K²).
+
+// Handle carries the incrementally-maintained activity state of one
+// instruction set: P(S), L(S) and Q(S). The router keeps one per tree node
+// and derives union handles at merges. Callers must not mutate Set.
+type Handle struct {
+	Set InstrSet
+
+	prob  float64 // P(S)
+	lin   float64 // L(S)
+	quad  float64 // Q(S)
+	count int     // |S|
+}
+
+// P returns the signal probability of the handle's set in O(1).
+func (h *Handle) P() float64 { return h.prob }
+
+// Ptr returns the transition probability of the handle's set in O(1).
+// The value agrees with TransProb up to floating-point rounding (the
+// additions associate differently); canonical reported figures still come
+// from TransProb.
+func (h *Handle) Ptr() float64 { return h.lin - 2*h.quad }
+
+// Count returns the number of instructions in the set.
+func (h *Handle) Count() int { return h.count }
+
+// handleAdd folds instruction d into h, assuming d ∉ h.Set. O(|S|) via the
+// precomputed sym table.
+func (p *Profile) handleAdd(h *Handle, d int) {
+	h.prob += p.freq[d]
+	h.lin += p.rc[d]
+	q := p.pair[d][d]
+	symRow := p.sym[d]
+	for w, word := range h.Set {
+		base := w << 6
+		for ; word != 0; word &= word - 1 {
+			q += symRow[base+bits.TrailingZeros64(word)]
+		}
+	}
+	h.quad += q
+	h.Set.Set(d)
+	h.count++
+}
+
+// NewHandle builds the activity handle of set s from scratch. Saturated
+// words contribute their probability via the precomputed per-word frequency
+// partial sums; L and Q accumulate per set bit. O(K·|S|).
+func (p *Profile) NewHandle(s InstrSet) *Handle {
+	h := &Handle{Set: isa.NewBitset(p.ISA.NumInstr())}
+	last := len(s) - 1
+	for w, word := range s {
+		full := ^uint64(0)
+		if w == last {
+			full = p.tailMask
+		}
+		probBefore := h.prob
+		base := w << 6
+		for bw := word; bw != 0; bw &= bw - 1 {
+			p.handleAdd(h, base+bits.TrailingZeros64(bw))
+		}
+		if word == full && word != 0 {
+			h.prob = probBefore + p.wordFreq[w]
+		}
+	}
+	return h
+}
+
+// UnionHandle returns the handle of a.Set ∪ b.Set by extending the larger
+// handle with the instructions only the smaller one has — O(K·Δ) where Δ
+// is the number of added instructions. The inputs are not modified.
+func (p *Profile) UnionHandle(a, b *Handle) *Handle {
+	base, other := a, b
+	if other.count > base.count {
+		base, other = other, base
+	}
+	h := &Handle{
+		Set:   base.Set.Clone(),
+		prob:  base.prob,
+		lin:   base.lin,
+		quad:  base.quad,
+		count: base.count,
+	}
+	for w, word := range other.Set {
+		word &^= base.Set[w]
+		wbase := w << 6
+		for ; word != 0; word &= word - 1 {
+			p.handleAdd(h, wbase+bits.TrailingZeros64(word))
+		}
+	}
+	return h
+}
+
+// TransProbUnion returns Ptr(a.Set ∪ b.Set) in O(K·Δ) via the incremental
+// algebra, without the caller having to materialize the union.
+func (p *Profile) TransProbUnion(a, b *Handle) float64 {
+	return p.UnionHandle(a, b).Ptr()
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/activity"
 	"repro/internal/ctrl"
@@ -144,6 +145,11 @@ type Options struct {
 	// forces serial execution. Results are identical regardless of the
 	// worker count.
 	Workers int
+	// Reference runs the unaccelerated greedy (no pair-cost memo, no
+	// lower-bound pruning, linear cheapest scan). Output is bit-identical
+	// to the fast path; it exists as the oracle for equivalence tests and
+	// for benchmarking the optimization layers.
+	Reference bool
 }
 
 // Instance is one routing problem: the die, the sinks (module locations and
@@ -195,7 +201,28 @@ func (in *Instance) Validate(opts Options) error {
 type Stats struct {
 	Merges    int // number of bottom-up merges (N−1)
 	Snakes    int // merges that required wire elongation
-	PairEvals int // candidate pair cost evaluations
+	PairEvals int // candidate pair cost evaluations (full merges solved)
+	// PairEvalsSkipped counts candidates discarded because their geometric
+	// lower bound already exceeded the running best — no merge solved.
+	PairEvalsSkipped int
+	// PairEvalsCached counts candidate lookups served from the pair-cost
+	// memo instead of being re-evaluated.
+	PairEvalsCached int
+
+	// Wall time per construction phase.
+	PhaseInit   time.Duration // initial all-pairs best-partner scan
+	PhaseGreedy time.Duration // merge loop (rescans, fold-ins, heap)
+	PhaseEmbed  time.Duration // root finishing, embedding, validation
+}
+
+// CacheHitRate returns the fraction of candidate cost lookups answered by
+// the pair-cost memo.
+func (s Stats) CacheHitRate() float64 {
+	total := s.PairEvals + s.PairEvalsSkipped + s.PairEvalsCached
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PairEvalsCached) / float64(total)
 }
 
 // Route constructs a zero-skew clock tree for the instance.
@@ -241,6 +268,8 @@ func Route(in *Instance, opts Options) (*topology.Tree, Stats, error) {
 		return nil, Stats{}, err
 	}
 	r.stats.PairEvals = int(r.pairEvals.Load())
+	r.stats.PairEvalsSkipped = int(r.pairSkipped.Load())
+	r.stats.PairEvalsCached = int(r.pairCached.Load())
 	return tree, r.stats, nil
 }
 
@@ -254,9 +283,11 @@ type router struct {
 	bufferCap float64 // ungated-edge buffer-insertion threshold (fF)
 	workers   int
 
-	nextID    int
-	stats     Stats
-	pairEvals atomic.Int64
+	nextID      int
+	stats       Stats
+	pairEvals   atomic.Int64
+	pairSkipped atomic.Int64
+	pairCached  atomic.Int64
 }
 
 // parallelFor runs fn(0..n-1) across the router's workers, preserving
@@ -303,25 +334,31 @@ type cand struct {
 }
 
 func (r *router) run() (*topology.Tree, error) {
+	buildStart := time.Now()
 	var root *topology.Node
 	var err error
-	switch r.opts.Method {
-	case NearestNeighbor:
+	switch {
+	case r.opts.Method == NearestNeighbor:
 		root, err = r.runRounds()
-	case MeansAndMedians:
+	case r.opts.Method == MeansAndMedians:
 		root, err = r.runMMM()
+	case r.opts.Reference:
+		root, err = r.runGreedyReference()
 	default:
 		root, err = r.runGreedy()
 	}
 	if err != nil {
 		return nil, err
 	}
+	r.stats.PhaseGreedy = time.Since(buildStart) - r.stats.PhaseInit
+	embedStart := time.Now()
 	r.finishRoot(root)
 	tree := &topology.Tree{Root: root, Source: r.source}
 	dme.Embed(tree)
 	if err := tree.Validate(); err != nil {
 		return nil, err
 	}
+	r.stats.PhaseEmbed = time.Since(embedStart)
 	return tree, nil
 }
 
@@ -433,10 +470,12 @@ func locsOf(nodes []*topology.Node) []geom.Point {
 	return pts
 }
 
-// runGreedy implements the one-pair-at-a-time schedule of the paper's
-// pseudocode, ordered by pairCost (Equation 3 for MinSwitchedCap, sector
-// distance for GreedyDistance).
-func (r *router) runGreedy() (*topology.Node, error) {
+// runGreedyReference implements the one-pair-at-a-time schedule of the
+// paper's pseudocode, ordered by pairCost (Equation 3 for MinSwitchedCap,
+// sector distance for GreedyDistance), with no caching or pruning. It is
+// the oracle the fast path in fastpath.go must match bit-for-bit.
+func (r *router) runGreedyReference() (*topology.Node, error) {
+	initStart := time.Now()
 	active := r.makeSinks()
 
 	// best[n] is the cheapest partner for n among the currently active
@@ -453,6 +492,7 @@ func (r *router) runGreedy() (*topology.Node, error) {
 	for i, n := range active {
 		best[n] = initial[i]
 	}
+	r.stats.PhaseInit = time.Since(initStart)
 
 	for len(active) > 1 {
 		a := r.cheapest(active, best)
@@ -510,7 +550,12 @@ func (r *router) runGreedy() (*topology.Node, error) {
 				ck = cand{partner: n, cost: costs[i]}
 				found = true
 			}
-			if costs[i] < best[n].cost {
+			// Same tie rule as bestPartner: strictly cheaper, or equal cost
+			// with the lower partner ID. (k carries the highest ID in the
+			// active set, so the tie arm keeps the incumbent — stated
+			// explicitly so both scans follow one order-independent rule.)
+			if costs[i] < best[n].cost ||
+				(costs[i] == best[n].cost && k.ID < best[n].partner.ID) {
 				best[n] = cand{partner: k, cost: costs[i]}
 			}
 		}
@@ -528,6 +573,7 @@ func (r *router) makeSinks() []*topology.Node {
 			n.Instr = p.SetForModule(i)
 			n.P = p.SignalProb(n.Instr)
 			n.Ptr = p.TransProb(n.Instr)
+			n.Act = p.NewHandle(n.Instr)
 		}
 		nodes[i] = n
 	}
@@ -691,13 +737,28 @@ func (r *router) edgeSC(n *topology.Node, l float64, gated bool, parentP float64
 	return sc
 }
 
+// edgeWeight is the factor edgeSC multiplies the edge's wire capacitance
+// by: the activity charged per fF of wire on the edge feeding n. Used by
+// the fast path's geometric lower bound (fastpath.go).
+func (r *router) edgeWeight(n *topology.Node, gated bool, parentP float64) float64 {
+	if gated {
+		return n.P
+	}
+	if r.opts.Drivers != GatedTree {
+		return 1
+	}
+	return parentP
+}
+
 // merge performs the actual zero-skew merge of a and b, installing drivers
 // and activity on the new node.
 func (r *router) merge(a, b *topology.Node) (*topology.Node, error) {
 	parentP := 1.0
 	var parentSet activity.InstrSet
+	var parentAct *activity.Handle
 	if p := r.in.Profile; p != nil {
-		parentSet = activity.Union(a.Instr, b.Instr)
+		parentAct = p.UnionHandle(a.Act, b.Act)
+		parentSet = parentAct.Set
 		parentP = p.SignalProb(parentSet)
 	}
 	da, db, ga, gb := r.decideDrivers(a, b, parentP)
@@ -727,6 +788,7 @@ func (r *router) merge(a, b *topology.Node) (*topology.Node, error) {
 	r.nextID++
 	if p := r.in.Profile; p != nil {
 		k.Ptr = p.TransProb(parentSet)
+		k.Act = parentAct
 	}
 	a.Parent, b.Parent = k, k
 	a.EdgeLen, b.EdgeLen = m.LenA, m.LenB

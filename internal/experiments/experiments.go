@@ -419,10 +419,14 @@ func PrintFig6(w io.Writer, benchName string, rows []Fig6Row) {
 type ComplexityRow struct {
 	Bench     string
 	Sinks     int
-	PairEvals int
+	PairEvals int     // full Equation-3 evaluations (zero-skew merges solved)
+	Skipped   int     // candidates discarded by the geometric lower bound
+	CacheHit  float64 // fraction of candidate lookups served by the memo
 	Merges    int
 	Snakes    int
 	Seconds   float64
+	InitSec   float64 // initial all-pairs scan
+	GreedySec float64 // merge loop
 }
 
 // RunComplexity times the min-SC construction across benchmarks.
@@ -446,9 +450,13 @@ func RunComplexity(names []string) ([]ComplexityRow, error) {
 			Bench:     name,
 			Sinks:     b.NumSinks(),
 			PairEvals: res.Stats.PairEvals,
+			Skipped:   res.Stats.PairEvalsSkipped,
+			CacheHit:  res.Stats.CacheHitRate(),
 			Merges:    res.Stats.Merges,
 			Snakes:    res.Stats.Snakes,
 			Seconds:   time.Since(start).Seconds(),
+			InitSec:   res.Stats.PhaseInit.Seconds(),
+			GreedySec: res.Stats.PhaseGreedy.Seconds(),
 		})
 	}
 	return rows, nil
@@ -457,13 +465,17 @@ func RunComplexity(names []string) ([]ComplexityRow, error) {
 // PrintComplexity renders the scaling study.
 func PrintComplexity(w io.Writer, rows []ComplexityRow) {
 	t := report.New("Construction scaling (min-SC gated routing)",
-		"Bench", "Sinks N", "Pair evals", "evals/N^2", "Merges", "Snakes", "Seconds")
+		"Bench", "Sinks N", "Pair evals", "evals/N^2", "Skipped", "Cache hit",
+		"Merges", "Snakes", "Init s", "Greedy s", "Seconds")
 	for _, r := range rows {
 		t.AddRow(r.Bench, report.I(r.Sinks), report.I(r.PairEvals),
 			report.F(float64(r.PairEvals)/float64(r.Sinks*r.Sinks), 2),
-			report.I(r.Merges), report.I(r.Snakes), report.F(r.Seconds, 2))
+			report.I(r.Skipped), report.F(r.CacheHit, 2),
+			report.I(r.Merges), report.I(r.Snakes),
+			report.F(r.InitSec, 2), report.F(r.GreedySec, 2), report.F(r.Seconds, 2))
 	}
 	t.AddNote("paper claims O(B + K^2 N^2); pair evals per N^2 should stay bounded")
+	t.AddNote("skipped = lower-bound pruned; cache hit = memoized candidate lookups")
 	t.Fprint(w)
 }
 

@@ -171,12 +171,24 @@ func TestComplexityRows(t *testing.T) {
 	if r.Merges != 266 {
 		t.Errorf("merges = %d, want N−1 = 266", r.Merges)
 	}
-	if r.PairEvals < 267*266/2 {
-		t.Errorf("pair evals %d implausibly low", r.PairEvals)
+	// The greedy still considers every candidate pair; most are now served
+	// by the memo or discarded by the lower bound instead of fully solved.
+	considered := float64(r.PairEvals+r.Skipped) / (1 - r.CacheHit)
+	if considered < 267*266/2 {
+		t.Errorf("considered candidates %v implausibly low", considered)
+	}
+	if r.PairEvals < r.Merges {
+		t.Errorf("pair evals %d below merge count", r.PairEvals)
 	}
 	// O(N²) with a modest constant.
 	if f := float64(r.PairEvals) / float64(267*267); f > 20 {
 		t.Errorf("pair evals per N² = %v, not bounded", f)
+	}
+	if r.Skipped == 0 {
+		t.Error("lower-bound pruning never fired on r1")
+	}
+	if r.CacheHit <= 0 || r.CacheHit >= 1 {
+		t.Errorf("cache hit rate %v outside (0,1)", r.CacheHit)
 	}
 }
 

@@ -14,6 +14,7 @@ package isa
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"strings"
 )
@@ -60,7 +61,7 @@ func (b Bitset) Intersects(o Bitset) bool {
 func (b Bitset) Count() int {
 	n := 0
 	for _, w := range b {
-		n += popcount(w)
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -70,14 +71,6 @@ func (b Bitset) Clone() Bitset {
 	c := make(Bitset, len(b))
 	copy(c, b)
 	return c
-}
-
-func popcount(w uint64) int {
-	n := 0
-	for ; w != 0; w &= w - 1 {
-		n++
-	}
-	return n
 }
 
 // New builds a Description from explicit usage lists. uses[k] lists the

@@ -52,6 +52,7 @@ type Node struct {
 	// the edge carries no gate, so gate-reduction sweeps can re-gate).
 	Instr  activity.InstrSet // instructions that activate any module below
 	P, Ptr float64           // signal and transition probability of EN
+	Act    *activity.Handle  // incremental activity state over Instr
 
 	isGate bool // Driver is a masking gate, not a free-running buffer
 }
