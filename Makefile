@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full bench race clean
+.PHONY: all build vet test test-full bench race fuzz clean
 
 # Default: build everything, vet, and run the fast test suite.
 all: build vet test
@@ -23,9 +23,21 @@ test-full:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkRoute|BenchmarkConstructScaling' -benchmem .
 
-# Race detector over the packages with Workers > 1 parallel scans.
+# Race detector over the packages with Workers > 1 parallel scans, plus the
+# fallback/cancellation paths and the public API (verifier always on there).
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/activity/...
+	$(GO) test -race -short ./internal/core/... ./internal/activity/... .
+
+# Short mutation runs over every fuzz target. The checked-in seed corpora
+# (r1-r5 serializations among them) already run as unit cases in `make test`;
+# this additionally explores mutated inputs for FUZZTIME each.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/bench
+	$(GO) test -run xxx -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/stream
+	$(GO) test -run xxx -fuzz FuzzArc -fuzztime $(FUZZTIME) ./internal/geom
+	$(GO) test -run xxx -fuzz FuzzMergeRegion -fuzztime $(FUZZTIME) ./internal/geom
+	$(GO) test -run xxx -fuzz FuzzRoute -fuzztime $(FUZZTIME) .
 
 clean:
 	$(GO) clean ./...

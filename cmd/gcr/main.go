@@ -8,9 +8,12 @@
 //	gcr -bench r2 -mode gated -controllers 4     # distributed controllers
 //	gcr -bench r1 -mode gated-red -tree          # also dump the tree layout
 //	gcr -bench r1 -mode gated-red -draw          # ASCII floorplan
+//	gcr -bench r1 -mode gated-red -verify        # independent result checker
+//	gcr -bench r5 -mode gated -timeout 30s       # bounded runtime
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +36,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print router statistics: pair evals, pruning, cache hits, phase timings")
 	workers := flag.Int("workers", 0, "goroutines for candidate-pair scans (0 = GOMAXPROCS)")
 	reference := flag.Bool("reference", false, "route with the unaccelerated reference greedy (validation/baseline)")
+	verifyTree := flag.Bool("verify", false, "run the independent post-construction checker on the routed tree and report")
+	timeout := flag.Duration("timeout", 0, "abort routing after this duration (0 = no limit)")
+	fallback := flag.Bool("fallback", false, "on a fast-path failure, re-route with the reference greedy instead of erroring")
 	domains := flag.Int("domains", 0, "print the N largest gating domains")
 	verilogOut := flag.String("verilog", "", "write a structural Verilog netlist to this file")
 	spiceOut := flag.String("spice", "", "write a SPICE RC deck to this file")
@@ -43,6 +49,7 @@ func main() {
 		benchName: *benchName, inFile: *inFile, mode: *mode, controllers: *controllers,
 		dumpTree: *dumpTree, drawMap: *drawMap, simulate: *simulate, domains: *domains,
 		stats: *stats, workers: *workers, reference: *reference,
+		verify: *verifyTree, timeout: *timeout, fallback: *fallback,
 		verilogOut: *verilogOut, spiceOut: *spiceOut, svgOut: *svgOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gcr:", err)
@@ -57,6 +64,8 @@ type runCfg struct {
 	dumpTree, drawMap       bool
 	simulate                bool
 	stats, reference        bool
+	verify, fallback        bool
+	timeout                 time.Duration
 	workers                 int
 	verilogOut, spiceOut    string
 	svgOut                  string
@@ -113,10 +122,22 @@ func run(cfg runCfg) error {
 	}
 	opts.Workers = cfg.workers
 	opts.Reference = cfg.reference
+	opts.Verify = cfg.verify
+	opts.FallbackOnError = cfg.fallback
 
-	res, err := d.Route(opts)
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	res, err := d.RouteContext(ctx, opts)
 	if err != nil {
 		return err
+	}
+	if res.Stats.Downgraded {
+		fmt.Fprintf(os.Stderr, "gcr: fast path failed, recovered via reference greedy: %s\n",
+			res.Stats.DowngradeReason)
 	}
 	printReport(b, mode, res)
 	if cfg.stats {
@@ -227,6 +248,11 @@ func printStats(s gatedclock.Stats) {
 	t.AddRow("phase: initial scan", s.PhaseInit.Round(time.Microsecond).String())
 	t.AddRow("phase: greedy merge loop", s.PhaseGreedy.Round(time.Microsecond).String())
 	t.AddRow("phase: embed + validate", s.PhaseEmbed.Round(time.Microsecond).String())
+	if s.Downgraded {
+		t.AddRow("downgraded to reference", s.DowngradeReason)
+	} else {
+		t.AddRow("downgraded to reference", "no")
+	}
 	t.Fprint(os.Stdout)
 }
 

@@ -1,0 +1,56 @@
+package gatedclock_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	gatedclock "repro"
+	"repro/internal/bench"
+)
+
+// FuzzRoute drives the whole exported pipeline — parse, validate, profile,
+// route, verify, evaluate — from attacker-controlled benchmark text. No
+// input may panic; anything accepted must route to a verifier-clean tree or
+// fail with a proper error.
+func FuzzRoute(f *testing.F) {
+	seed := func(cfg bench.Config) {
+		b, err := bench.Generate(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	seed(bench.Config{Name: "seed", NumSinks: 5, Seed: 2, StreamLen: 60})
+	seed(bench.Config{Name: "seed2", NumSinks: 12, Seed: 9, NumInstr: 6, StreamLen: 200})
+	f.Add("")
+	f.Add("gatedclock-benchmark v1\nname x\ndie 0 0 1 1\nsinks 0\ninstructions 0\nstream 0\nend\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		b, err := bench.Read(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Keep accepted instances small enough that routing stays cheap.
+		if b.NumSinks() > 24 || len(b.Stream) > 400 {
+			t.Skip("oversized instance")
+		}
+		d, err := gatedclock.NewDesign(b)
+		if err != nil {
+			return
+		}
+		opts := gatedclock.GatedReducedOptions()
+		opts.Verify = true
+		res, err := d.Route(opts)
+		if err != nil {
+			return
+		}
+		if res.Tree == nil || res.Report.TotalSC < 0 {
+			t.Fatalf("accepted route produced nonsense result: %+v", res.Report)
+		}
+	})
+}

@@ -24,6 +24,8 @@
 package gatedclock
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -39,6 +41,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/tech"
 	"repro/internal/topology"
+	"repro/internal/verify"
 )
 
 // Re-exported types; see the internal packages for full documentation.
@@ -178,19 +181,38 @@ type Result struct {
 
 // Route constructs and evaluates a clock tree for the design.
 func (d *Design) Route(opts Options) (*Result, error) {
+	return d.RouteContext(context.Background(), opts)
+}
+
+// RouteContext is Route under a context: cancellation or deadline expiry
+// aborts the construction at its internal checkpoints and returns an error
+// wrapping ErrCanceled (and the context's own error), with no partial
+// Result. When opts.Verify is set, the independent checker also
+// cross-checks the evaluated power report (W(T), W(S), W = W(T)+W(S))
+// against a from-scratch recomputation before the Result is returned.
+func (d *Design) RouteContext(ctx context.Context, opts Options) (*Result, error) {
 	c := opts.Controller
 	if c == nil {
 		c = ctrl.Centralized(d.Bench.Die)
 		opts.Controller = c
 	}
-	tree, stats, err := core.Route(d.instance, opts)
+	tree, stats, err := core.RouteContext(ctx, d.instance, opts)
 	if err != nil {
+		if errors.Is(err, core.ErrInvalidInput) {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidBenchmark, err)
+		}
 		return nil, err
+	}
+	rep := power.Evaluate(tree, c, opts.Tech)
+	if opts.Verify {
+		if err := verify.Report(tree, c, opts.Tech, rep); err != nil {
+			return nil, err
+		}
 	}
 	return &Result{
 		Tree:       tree,
 		Stats:      stats,
-		Report:     power.Evaluate(tree, c, opts.Tech),
+		Report:     rep,
 		Controller: c,
 		Options:    opts,
 	}, nil

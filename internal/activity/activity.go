@@ -89,7 +89,7 @@ func NewProfile(d *isa.Description, s stream.Stream) (*Profile, error) {
 		return nil, err
 	}
 	if len(s) < 2 {
-		return nil, errors.New("activity: stream must have at least two cycles")
+		return nil, fmt.Errorf("activity: %w: stream must have at least two cycles", stream.ErrInvalid)
 	}
 	k := d.NumInstr()
 	p := &Profile{ISA: d, Cycles: len(s)}

@@ -33,25 +33,58 @@ type Benchmark struct {
 // NumSinks returns the number of sinks (= modules).
 func (b *Benchmark) NumSinks() int { return len(b.SinkLocs) }
 
-// Validate checks internal consistency.
+// ErrInvalid is wrapped by every validation failure of a benchmark, so
+// callers can classify bad-input errors with errors.Is.
+var ErrInvalid = errors.New("bench: invalid benchmark")
+
+// MaxSinks bounds the accepted instance size; r5, the largest classic
+// benchmark, has 3101 sinks.
+const MaxSinks = 1 << 20
+
+// Validate checks internal consistency: sink/cap agreement, finite
+// coordinates and loads, sinks inside the die, no duplicate sink
+// locations, an ISA matching the sink count, and a valid stream.
 func (b *Benchmark) Validate() error {
 	switch {
 	case b.NumSinks() == 0:
-		return errors.New("bench: no sinks")
+		return fmt.Errorf("%w: no sinks", ErrInvalid)
+	case b.NumSinks() > MaxSinks:
+		return fmt.Errorf("%w: %d sinks exceeds limit %d", ErrInvalid, b.NumSinks(), MaxSinks)
 	case len(b.SinkCaps) != b.NumSinks():
-		return errors.New("bench: sink caps and locations disagree")
+		return fmt.Errorf("%w: sink caps and locations disagree", ErrInvalid)
 	case b.ISA == nil:
-		return errors.New("bench: missing ISA")
+		return fmt.Errorf("%w: missing ISA", ErrInvalid)
 	case b.ISA.NumModules != b.NumSinks():
-		return fmt.Errorf("bench: %d modules for %d sinks", b.ISA.NumModules, b.NumSinks())
+		return fmt.Errorf("%w: %d modules for %d sinks", ErrInvalid, b.ISA.NumModules, b.NumSinks())
+	case !finite(b.Die.X0) || !finite(b.Die.Y0) || !finite(b.Die.X1) || !finite(b.Die.Y1):
+		return fmt.Errorf("%w: die %+v has non-finite corners", ErrInvalid, b.Die)
+	case b.Die.W() <= 0 || b.Die.H() <= 0:
+		return fmt.Errorf("%w: empty die %+v", ErrInvalid, b.Die)
 	}
+	seen := make(map[geom.Point]int, b.NumSinks())
 	for i, p := range b.SinkLocs {
+		if !finite(p.X) || !finite(p.Y) {
+			return fmt.Errorf("%w: sink %d at non-finite location %v", ErrInvalid, i, p)
+		}
 		if !b.Die.Contains(p) {
-			return fmt.Errorf("bench: sink %d at %v outside die", i, p)
+			return fmt.Errorf("%w: sink %d at %v outside die", ErrInvalid, i, p)
+		}
+		if j, dup := seen[p]; dup {
+			return fmt.Errorf("%w: sinks %d and %d share location %v", ErrInvalid, j, i, p)
+		}
+		seen[p] = i
+		if c := b.SinkCaps[i]; !finite(c) || c < 0 {
+			return fmt.Errorf("%w: sink %d has bad load %v", ErrInvalid, i, c)
 		}
 	}
-	return b.Stream.Validate(b.ISA)
+	if err := b.Stream.Validate(b.ISA); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
 }
+
+// finite reports whether v is a finite float (not NaN, not ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Config parameterizes benchmark synthesis.
 type Config struct {
@@ -100,14 +133,20 @@ func (c Config) withDefaults() Config {
 // identical benchmarks.
 func Generate(cfg Config) (*Benchmark, error) {
 	cfg = cfg.withDefaults()
-	if cfg.NumSinks <= 0 {
-		return nil, errors.New("bench: NumSinks must be positive")
-	}
-	if cfg.MaxLoad < cfg.MinLoad || cfg.MinLoad < 0 {
-		return nil, fmt.Errorf("bench: bad load range [%v, %v]", cfg.MinLoad, cfg.MaxLoad)
+	switch {
+	case cfg.NumSinks <= 0:
+		return nil, fmt.Errorf("%w: NumSinks must be positive", ErrInvalid)
+	case cfg.NumSinks > MaxSinks:
+		return nil, fmt.Errorf("%w: %d sinks exceeds limit %d", ErrInvalid, cfg.NumSinks, MaxSinks)
+	case !finite(cfg.DieSide) || cfg.DieSide <= 0:
+		return nil, fmt.Errorf("%w: die side %v is not positive and finite", ErrInvalid, cfg.DieSide)
+	case !finite(cfg.MinLoad) || !finite(cfg.MaxLoad) || cfg.MaxLoad < cfg.MinLoad || cfg.MinLoad < 0:
+		return nil, fmt.Errorf("%w: bad load range [%v, %v]", ErrInvalid, cfg.MinLoad, cfg.MaxLoad)
+	case cfg.StreamLen < 2 || cfg.StreamLen > stream.MaxLen:
+		return nil, fmt.Errorf("%w: stream length %d outside [2, %d]", ErrInvalid, cfg.StreamLen, stream.MaxLen)
 	}
 	if err := cfg.Model.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6c0c4a11))
 
@@ -210,8 +249,8 @@ func MustStandard(name string) *Benchmark {
 // Figure 4 sweep. The activity knob is the per-instruction module usage
 // fraction, which the average module activity tracks closely.
 func (b *Benchmark) WithUsage(usage float64, seed uint64, model stream.Markov) (*Benchmark, error) {
-	if usage <= 0 || usage > 1 {
-		return nil, fmt.Errorf("bench: usage %v out of (0, 1]", usage)
+	if !(usage > 0) || usage > 1 {
+		return nil, fmt.Errorf("%w: usage %v out of (0, 1]", ErrInvalid, usage)
 	}
 	rng := rand.New(rand.NewPCG(seed, 0xac7171e5))
 	nb := &Benchmark{

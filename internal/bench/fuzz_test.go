@@ -18,6 +18,23 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.String())
+	// The r1-r5 standard benchmarks seed the corpus with realistic full-size
+	// inputs (the same instances the golden equivalence suite routes).
+	for _, name := range StandardNames() {
+		cfg, err := Standard(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		std, err := Generate(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var sb bytes.Buffer
+		if err := std.Write(&sb); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sb.String())
+	}
 	f.Add("")
 	f.Add("gatedclock-benchmark v1\n")
 	f.Add("gatedclock-benchmark v1\nname x\ndie 0 0 1 1\nsinks 0\ninstructions 0\nstream 0\nend\n")

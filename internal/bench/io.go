@@ -115,6 +115,9 @@ func Read(r io.Reader) (*Benchmark, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nSinks < 0 || nSinks > MaxSinks {
+		return nil, fmt.Errorf("%w: declared sink count %d outside [0, %d]", ErrInvalid, nSinks, MaxSinks)
+	}
 	for i := 0; i < nSinks; i++ {
 		line, err := next()
 		if err != nil {
@@ -131,6 +134,9 @@ func Read(r io.Reader) (*Benchmark, error) {
 	nInstr, err := keywordInt(next, "instructions")
 	if err != nil {
 		return nil, err
+	}
+	if nInstr < 0 || nInstr > isa.MaxInstr {
+		return nil, fmt.Errorf("%w: declared instruction count %d outside [0, %d]", ErrInvalid, nInstr, isa.MaxInstr)
 	}
 	uses := make([][]int, nInstr)
 	for k := 0; k < nInstr; k++ {
@@ -150,6 +156,9 @@ func Read(r io.Reader) (*Benchmark, error) {
 	nStream, err := keywordInt(next, "stream")
 	if err != nil {
 		return nil, err
+	}
+	if nStream < 0 || nStream > stream.MaxLen {
+		return nil, fmt.Errorf("%w: declared stream length %d outside [0, %d]", ErrInvalid, nStream, stream.MaxLen)
 	}
 	for len(b.Stream) < nStream {
 		line, err := next()

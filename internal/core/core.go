@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,10 +21,21 @@ import (
 	"repro/internal/activity"
 	"repro/internal/ctrl"
 	"repro/internal/dme"
+	"repro/internal/faultinject"
 	"repro/internal/gating"
 	"repro/internal/geom"
 	"repro/internal/tech"
 	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+// Sentinel errors of the routing entry points, classifiable with errors.Is.
+var (
+	// ErrInvalidInput wraps every Instance/Options validation failure.
+	ErrInvalidInput = errors.New("core: invalid routing instance")
+	// ErrCanceled wraps failures caused by context cancellation or
+	// deadline expiry; the underlying context error stays in the chain.
+	ErrCanceled = errors.New("core: routing canceled")
 )
 
 // Method selects the merge-ordering cost of the bottom-up phase.
@@ -150,6 +162,20 @@ type Options struct {
 	// to the fast path; it exists as the oracle for equivalence tests and
 	// for benchmarking the optimization layers.
 	Reference bool
+	// Verify runs the independent post-construction checker
+	// (internal/verify) on the finished tree: re-derived Elmore skew,
+	// embedding geometry, electrical bookkeeping and activity sanity. A
+	// violation fails the route with an error wrapping verify.ErrInvariant.
+	Verify bool
+	// FallbackOnError transparently re-routes through the retained
+	// reference greedy when the fast path trips an internal invariant (or
+	// panics): the route then succeeds with Stats.Downgraded set instead
+	// of returning the invariant error. Cancellation and input errors are
+	// never retried.
+	FallbackOnError bool
+	// FaultInject deterministically corrupts fast-path state; used by the
+	// robustness tests, nil in production.
+	FaultInject *faultinject.Injector
 }
 
 // Instance is one routing problem: the die, the sinks (module locations and
@@ -163,39 +189,58 @@ type Instance struct {
 	Profile  *activity.Profile // may be nil for BufferedTree/BareTree runs
 }
 
-// Validate checks the instance for structural problems.
+// Validate checks the instance for structural problems. Every failure
+// wraps ErrInvalidInput.
 func (in *Instance) Validate(opts Options) error {
 	switch {
 	case len(in.SinkLocs) == 0:
-		return errors.New("core: instance has no sinks")
+		return fmt.Errorf("%w: instance has no sinks", ErrInvalidInput)
 	case len(in.SinkLocs) != len(in.SinkCaps):
-		return fmt.Errorf("core: %d sink locations vs %d capacitances",
-			len(in.SinkLocs), len(in.SinkCaps))
+		return fmt.Errorf("%w: %d sink locations vs %d capacitances",
+			ErrInvalidInput, len(in.SinkLocs), len(in.SinkCaps))
+	case !finite(in.Die.X0) || !finite(in.Die.Y0) || !finite(in.Die.X1) || !finite(in.Die.Y1):
+		return fmt.Errorf("%w: die %+v has non-finite corners", ErrInvalidInput, in.Die)
 	case in.Die.W() <= 0 || in.Die.H() <= 0:
-		return errors.New("core: empty die")
+		return fmt.Errorf("%w: empty die", ErrInvalidInput)
+	case !finite(in.Source.X) || !finite(in.Source.Y):
+		return fmt.Errorf("%w: non-finite source %v", ErrInvalidInput, in.Source)
 	}
-	for i, c := range in.SinkCaps {
-		if c < 0 {
-			return fmt.Errorf("core: sink %d has negative load %v", i, c)
+	for i, p := range in.SinkLocs {
+		if !finite(p.X) || !finite(p.Y) {
+			return fmt.Errorf("%w: sink %d at non-finite location %v", ErrInvalidInput, i, p)
 		}
 	}
-	if opts.SkewBoundPs < 0 {
-		return errors.New("core: negative skew bound")
+	for i, c := range in.SinkCaps {
+		if !finite(c) || c < 0 {
+			return fmt.Errorf("%w: sink %d has bad load %v", ErrInvalidInput, i, c)
+		}
+	}
+	if !(opts.SkewBoundPs >= 0) || math.IsInf(opts.SkewBoundPs, 1) {
+		return fmt.Errorf("%w: bad skew bound %v", ErrInvalidInput, opts.SkewBoundPs)
+	}
+	if math.IsNaN(opts.BufferCap) {
+		return fmt.Errorf("%w: NaN buffer-insertion threshold", ErrInvalidInput)
 	}
 	needProfile := opts.Drivers == GatedTree ||
 		opts.Method == MinSwitchedCap || opts.Method == MinClockCapOnly ||
 		opts.Method == ActivityDriven
 	if needProfile {
 		if in.Profile == nil {
-			return errors.New("core: gated routing requires an activity profile")
+			return fmt.Errorf("%w: gated routing requires an activity profile", ErrInvalidInput)
 		}
 		if in.Profile.ISA.NumModules < len(in.SinkLocs) {
-			return fmt.Errorf("core: profile covers %d modules but instance has %d sinks",
-				in.Profile.ISA.NumModules, len(in.SinkLocs))
+			return fmt.Errorf("%w: profile covers %d modules but instance has %d sinks",
+				ErrInvalidInput, in.Profile.ISA.NumModules, len(in.SinkLocs))
 		}
 	}
-	return opts.Tech.Validate()
+	if err := opts.Tech.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidInput, err)
+	}
+	return nil
 }
+
+// finite reports whether v is a finite float (not NaN, not ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Stats reports how the construction went.
 type Stats struct {
@@ -213,6 +258,13 @@ type Stats struct {
 	PhaseInit   time.Duration // initial all-pairs best-partner scan
 	PhaseGreedy time.Duration // merge loop (rescans, fold-ins, heap)
 	PhaseEmbed  time.Duration // root finishing, embedding, validation
+
+	// Downgraded reports that the fast path failed an invariant and the
+	// result was produced by the reference greedy instead
+	// (Options.FallbackOnError); DowngradeReason records the original
+	// failure.
+	Downgraded      bool
+	DowngradeReason string
 }
 
 // CacheHitRate returns the fraction of candidate cost lookups answered by
@@ -227,10 +279,48 @@ func (s Stats) CacheHitRate() float64 {
 
 // Route constructs a zero-skew clock tree for the instance.
 func Route(in *Instance, opts Options) (*topology.Tree, Stats, error) {
+	return RouteContext(context.Background(), in, opts)
+}
+
+// RouteContext is Route under a context: cancellation or deadline expiry is
+// honored at checkpoints inside the bottom-up merge and scan loops, failing
+// the route with an error wrapping ErrCanceled (and the context's own
+// error) without a partial result.
+func RouteContext(ctx context.Context, in *Instance, opts Options) (*topology.Tree, Stats, error) {
 	if err := in.Validate(opts); err != nil {
 		return nil, Stats{}, err
 	}
-	r := &router{in: in, opts: opts}
+	tree, stats, err := routeOnce(ctx, in, opts)
+	if err == nil || !opts.FallbackOnError || opts.Reference ||
+		!usesFastPath(opts.Method) || errors.Is(err, ErrCanceled) {
+		return tree, stats, err
+	}
+	// The fast path failed an invariant. Its state is independent of the
+	// reference greedy's, so re-route through the retained oracle and
+	// record the downgrade.
+	ref := opts
+	ref.Reference = true
+	ref.FaultInject = nil
+	tree, stats, err2 := routeOnce(ctx, in, ref)
+	if err2 != nil {
+		return nil, Stats{}, err2
+	}
+	stats.Downgraded = true
+	stats.DowngradeReason = err.Error()
+	return tree, stats, nil
+}
+
+// usesFastPath reports whether the method is served by the accelerated
+// greedy of fastpath.go (and therefore has the reference greedy to fall
+// back on).
+func usesFastPath(m Method) bool {
+	return m != NearestNeighbor && m != MeansAndMedians
+}
+
+// routeOnce runs one construction attempt end to end: build, embed,
+// validate, optionally verify.
+func routeOnce(ctx context.Context, in *Instance, opts Options) (*topology.Tree, Stats, error) {
+	r := &router{in: in, opts: opts, ctx: ctx}
 	side := in.Die.W()
 	if in.Die.H() > side {
 		side = in.Die.H()
@@ -267,6 +357,11 @@ func Route(in *Instance, opts Options) (*topology.Tree, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	if opts.Verify {
+		if err := verify.Tree(tree, opts.Tech, opts.SkewBoundPs); err != nil {
+			return nil, Stats{}, err
+		}
+	}
 	r.stats.PairEvals = int(r.pairEvals.Load())
 	r.stats.PairEvalsSkipped = int(r.pairSkipped.Load())
 	r.stats.PairEvalsCached = int(r.pairCached.Load())
@@ -276,6 +371,7 @@ func Route(in *Instance, opts Options) (*topology.Tree, Stats, error) {
 type router struct {
 	in         *Instance
 	opts       Options
+	ctx        context.Context
 	policy     gating.Policy
 	controller *ctrl.Controller
 	source     geom.Point
@@ -290,12 +386,40 @@ type router struct {
 	pairCached  atomic.Int64
 }
 
+// checkCtx is the cancellation checkpoint, called at every merge and at
+// every index of the parallel scans; it costs one atomic load when the
+// context is still live.
+func (r *router) checkCtx() error {
+	if r.ctx == nil {
+		return nil
+	}
+	if err := r.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
 // parallelFor runs fn(0..n-1) across the router's workers, preserving
-// nothing but the per-index outputs fn writes; the first error wins.
+// nothing but the per-index outputs fn writes; the first error wins. A
+// panic inside fn is converted to an invariant error at the goroutine
+// boundary — a recover() in the orchestration loop cannot reach a worker
+// goroutine's stack, and crashing the process would make the corruption
+// unrecoverable.
 func (r *router) parallelFor(n int, fn func(i int) error) error {
+	call := func(i int) (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = invariantf("panic in parallel scan at index %d: %v", i, rec)
+			}
+		}()
+		return fn(i)
+	}
 	if r.workers <= 1 || n < 64 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := r.checkCtx(); err != nil {
+				return err
+			}
+			if err := call(i); err != nil {
 				return err
 			}
 		}
@@ -313,7 +437,11 @@ func (r *router) parallelFor(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := r.checkCtx(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if err := call(i); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
@@ -345,7 +473,7 @@ func (r *router) run() (*topology.Tree, error) {
 	case r.opts.Reference:
 		root, err = r.runGreedyReference()
 	default:
-		root, err = r.runGreedy()
+		root, err = r.runGreedyProtected()
 	}
 	if err != nil {
 		return nil, err
@@ -652,7 +780,8 @@ func (r *router) sized(d *tech.Driver, load float64) *tech.Driver {
 	if s == 1 {
 		return d
 	}
-	scaled := d.Scaled(s)
+	// Strengths come from Tech.DriveStrengths, vetted by Params.Validate.
+	scaled := d.MustScaled(s)
 	return &scaled
 }
 
@@ -753,6 +882,9 @@ func (r *router) edgeWeight(n *topology.Node, gated bool, parentP float64) float
 // merge performs the actual zero-skew merge of a and b, installing drivers
 // and activity on the new node.
 func (r *router) merge(a, b *topology.Node) (*topology.Node, error) {
+	if err := r.checkCtx(); err != nil {
+		return nil, err
+	}
 	parentP := 1.0
 	var parentSet activity.InstrSet
 	var parentAct *activity.Handle

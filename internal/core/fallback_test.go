@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/tech"
+	"repro/internal/verify"
+)
+
+// faultPlans returns, for a benchmark with n sinks, one injection plan per
+// fault mode, each placed so the corruption is exercised deterministically:
+// heap faults within the init scan's single-version window, memo faults at
+// a seed-derived cached read, activity faults on the final merge (where
+// only the post-construction verifier can see them), panics mid-loop.
+func faultPlans(n int, seed uint64) []faultinject.Plan {
+	return []faultinject.Plan{
+		{Mode: faultinject.CorruptMemo, Nth: faultinject.NthFromSeed(seed, 200)},
+		{Mode: faultinject.CorruptHeap, Nth: faultinject.NthFromSeed(seed, n-1)},
+		{Mode: faultinject.CorruptActivity, Nth: n - 2},
+		{Mode: faultinject.PanicMergeLoop, Nth: faultinject.NthFromSeed(seed, n/2)},
+	}
+}
+
+// TestFaultInjectionDetected: every injected corruption must surface as an
+// error wrapping verify.ErrInvariant when no fallback is armed — never as
+// a silently wrong tree and never as a panic escaping Route.
+func TestFaultInjectionDetected(t *testing.T) {
+	in := makeInstance(t, 96, 41)
+	for _, plan := range faultPlans(96, 4242) {
+		fi := faultinject.New(plan)
+		opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree,
+			Verify: true, FaultInject: fi}
+		tree, _, err := Route(in, opts)
+		if !fi.Fired() {
+			t.Errorf("%v: fault never fired", plan.Mode)
+			continue
+		}
+		if err == nil {
+			t.Errorf("%v: corruption went undetected", plan.Mode)
+			continue
+		}
+		if !errors.Is(err, verify.ErrInvariant) {
+			t.Errorf("%v: error %v does not wrap verify.ErrInvariant", plan.Mode, err)
+		}
+		if tree != nil {
+			t.Errorf("%v: non-nil tree alongside error", plan.Mode)
+		}
+	}
+}
+
+// TestFallbackGolden: with FallbackOnError armed, every injected fault is
+// recovered by re-routing through the reference greedy, and the recovered
+// tree is bit-identical to a direct Options.Reference run. The downgrade
+// is visible in Stats.
+func TestFallbackGolden(t *testing.T) {
+	names := []string{"r1", "r2"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			in := goldenInstance(t, name)
+			n := len(in.SinkLocs)
+			base := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree,
+				Verify: true}
+
+			refOpts := base
+			refOpts.Reference = true
+			refTree, refStats, err := Route(in, refOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refStats.Downgraded {
+				t.Fatal("reference run reports a downgrade")
+			}
+
+			for _, plan := range faultPlans(n, 7*uint64(n)) {
+				fi := faultinject.New(plan)
+				opts := base
+				opts.FaultInject = fi
+				opts.FallbackOnError = true
+				tree, stats, err := Route(in, opts)
+				if err != nil {
+					t.Errorf("%v: fallback did not recover: %v", plan.Mode, err)
+					continue
+				}
+				if !fi.Fired() {
+					t.Errorf("%v: fault never fired", plan.Mode)
+					continue
+				}
+				if !stats.Downgraded || stats.DowngradeReason == "" {
+					t.Errorf("%v: downgrade not recorded in stats: %+v", plan.Mode, stats)
+				}
+				requireIdenticalTrees(t, plan.Mode.String(), refTree, tree)
+			}
+		})
+	}
+}
+
+// TestFallbackLeavesCleanRunsAlone: FallbackOnError must be a no-op when
+// the fast path succeeds.
+func TestFallbackLeavesCleanRunsAlone(t *testing.T) {
+	in := makeInstance(t, 80, 9)
+	opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree,
+		Verify: true, FallbackOnError: true}
+	_, stats, err := Route(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Downgraded {
+		t.Errorf("clean run reports a downgrade: %q", stats.DowngradeReason)
+	}
+	if stats.PairEvalsCached == 0 {
+		t.Error("fast path did not run (no memo hits)")
+	}
+}
+
+// TestRouteContextPreCanceled: an already-canceled context fails promptly
+// with ErrCanceled and no partial result, and is never retried by the
+// fallback.
+func TestRouteContextPreCanceled(t *testing.T) {
+	in := makeInstance(t, 80, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree,
+		FallbackOnError: true}
+	tree, _, err := RouteContext(ctx, in, opts)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("context cause lost from chain: %v", err)
+	}
+	if tree != nil {
+		t.Error("partial tree returned after cancellation")
+	}
+}
+
+// TestRouteContextDeadline: a tight deadline interrupts a large
+// construction mid-flight, promptly.
+func TestRouteContextDeadline(t *testing.T) {
+	in := makeInstance(t, 600, 13)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree}
+	start := time.Now()
+	tree, _, err := RouteContext(ctx, in, opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	if tree != nil {
+		t.Error("partial tree returned after deadline")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v — checkpoints not reached", elapsed)
+	}
+}
+
+// countdownCtx expires after its Err method has been consulted n times —
+// a deterministic stand-in for a mid-construction deadline that cannot
+// race against a fast method finishing early.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left--; c.left <= 0 {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// TestCancellationCheckpointsAllMethods proves every topology method's
+// construction loop actually polls the context: a context that expires at
+// the 10th checkpoint must abort each of them, however fast the method is.
+func TestCancellationCheckpointsAllMethods(t *testing.T) {
+	in := makeInstance(t, 96, 13)
+	for _, method := range []Method{MinSwitchedCap, NearestNeighbor, MeansAndMedians,
+		GreedyDistance, ActivityDriven, MinClockCapOnly} {
+		for _, reference := range []bool{false, true} {
+			if reference && !usesFastPath(method) {
+				continue
+			}
+			ctx := &countdownCtx{Context: context.Background(), left: 10}
+			// Workers: 1 keeps the checkpoint count deterministic.
+			opts := Options{Tech: tech.Default(), Method: method, Drivers: GatedTree,
+				Reference: reference, Workers: 1}
+			tree, _, err := RouteContext(ctx, in, opts)
+			if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("%v (reference=%v): got %v, want ErrCanceled wrapping DeadlineExceeded",
+					method, reference, err)
+			}
+			if tree != nil {
+				t.Errorf("%v (reference=%v): partial tree returned", method, reference)
+			}
+		}
+	}
+}
+
+// TestReferencePathIgnoresInjector: the injector hooks live exclusively in
+// the fast path, so a Reference run must complete untouched.
+func TestReferencePathIgnoresInjector(t *testing.T) {
+	in := makeInstance(t, 60, 17)
+	fi := faultinject.New(faultinject.Plan{Mode: faultinject.PanicMergeLoop, Nth: 0})
+	opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree,
+		Reference: true, Verify: true, FaultInject: fi}
+	if _, _, err := Route(in, opts); err != nil {
+		t.Fatal(err)
+	}
+	if fi.Fired() {
+		t.Error("injector fired on the reference path")
+	}
+}

@@ -23,12 +23,22 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/dme"
+	"repro/internal/faultinject"
 	"repro/internal/topology"
+	"repro/internal/verify"
 )
+
+// invariantf builds a fast-path invariant error; it wraps
+// verify.ErrInvariant so FallbackOnError and callers classify construction
+// corruption uniformly with post-construction verification failures.
+func invariantf(format string, args ...any) error {
+	return fmt.Errorf("core: %w: %s", verify.ErrInvariant, fmt.Sprintf(format, args...))
+}
 
 // dominated reports whether lower bound lb proves a candidate cannot beat
 // or tie the running best cost thr. The relative margin keeps the test
@@ -105,9 +115,10 @@ type greedyState struct {
 	alive []bool
 	memo  [][]float64 // memo[owner][partner] = pairCost(owner, partner); NaN = absent
 	heap  pairHeap
+	fi    *faultinject.Injector // nil in production
 }
 
-func newGreedyState(sinks []*topology.Node) *greedyState {
+func newGreedyState(sinks []*topology.Node, fi *faultinject.Injector) *greedyState {
 	capIDs := 2*len(sinks) - 1
 	g := &greedyState{
 		byID:  make([]*topology.Node, capIDs),
@@ -116,6 +127,7 @@ func newGreedyState(sinks []*topology.Node) *greedyState {
 		alive: make([]bool, capIDs),
 		memo:  make([][]float64, capIDs),
 		heap:  make(pairHeap, 0, 4*len(sinks)),
+		fi:    fi,
 	}
 	for _, n := range sinks {
 		g.byID[n.ID] = n
@@ -130,7 +142,7 @@ func newGreedyState(sinks []*topology.Node) *greedyState {
 func (g *greedyState) setBest(id int, c cand) {
 	g.best[id] = c
 	g.ver[id]++
-	g.heap.push(heapEntry{cost: c.cost, id: int32(id), ver: g.ver[id]})
+	g.heap.push(heapEntry{cost: g.fi.HeapCost(c.cost), id: int32(id), ver: g.ver[id]})
 }
 
 // kill retires a merged-away node and releases its memo row.
@@ -140,14 +152,27 @@ func (g *greedyState) kill(id int) {
 }
 
 // popCheapest returns the live node whose cached pair is globally
-// cheapest, discarding heap entries invalidated by merges or rescans.
-func (g *greedyState) popCheapest() *topology.Node {
-	for {
+// cheapest, discarding heap entries invalidated by merges or rescans. A
+// current-version entry must agree with the best table and carry a sane
+// cost — Equation-3 costs and sector distances are always finite and
+// non-negative — so any mismatch means the heap or the table is corrupt.
+func (g *greedyState) popCheapest() (*topology.Node, error) {
+	for len(g.heap) > 0 {
 		e := g.heap.pop()
-		if g.alive[e.id] && g.ver[e.id] == e.ver {
-			return g.byID[e.id]
+		if !g.alive[e.id] || g.ver[e.id] != e.ver {
+			continue
 		}
+		b := g.best[e.id]
+		switch {
+		case e.cost != b.cost || !(e.cost >= 0) || math.IsInf(e.cost, 1):
+			return nil, invariantf("heap entry for node %d has cost %v, best table says %v",
+				e.id, e.cost, b.cost)
+		case b.partner == nil || !g.alive[b.partner.ID]:
+			return nil, invariantf("node %d's cached partner is not alive", e.id)
+		}
+		return g.byID[e.id], nil
 	}
+	return nil, invariantf("pair heap exhausted with live nodes remaining")
 }
 
 func (g *greedyState) memoGet(owner, partner int) (float64, bool) {
@@ -264,7 +289,14 @@ func (r *router) bestPartnerPruned(g *greedyState, n *topology.Node, active []*t
 		var cost float64
 		if c, ok := g.memoGet(n.ID, m.ID); ok {
 			r.pairCached.Add(1)
-			cost = c
+			cost = g.fi.MemoCost(c)
+			// Memoized costs were all computed by pairCost, which never
+			// returns a negative (or NaN) value; a bad read means the row
+			// was corrupted after it was filled.
+			if !(cost >= 0) {
+				return cand{}, invariantf("memo row %d[%d] holds impossible cost %v",
+					n.ID, m.ID, cost)
+			}
 		} else {
 			thr := math.Inf(1)
 			if found {
@@ -289,6 +321,21 @@ func (r *router) bestPartnerPruned(g *greedyState, n *topology.Node, active []*t
 	return out, nil
 }
 
+// runGreedyProtected runs the fast greedy with a panic barrier: the
+// accelerated path's heap/memo bookkeeping is the only code here with no
+// reference twin, so a panic inside it is converted into an invariant
+// error (recoverable via Options.FallbackOnError) instead of unwinding
+// into the caller. The reference path stays unguarded by design — a panic
+// there is a genuine bug with no second implementation to fall back on.
+func (r *router) runGreedyProtected() (root *topology.Node, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			root, err = nil, invariantf("fast-path panic: %v", rec)
+		}
+	}()
+	return r.runGreedy()
+}
+
 // runGreedy is the accelerated one-pair-at-a-time schedule. Outputs —
 // topology, embedding, every float — are bit-identical to
 // runGreedyReference; see the package comment at the top of this file for
@@ -299,7 +346,7 @@ func (r *router) runGreedy() (*topology.Node, error) {
 	if len(active) == 1 {
 		return active[0], nil
 	}
-	g := newGreedyState(active)
+	g := newGreedyState(active, r.opts.FaultInject)
 
 	initial := make([]cand, len(active))
 	if err := r.parallelFor(len(active), func(i int) error {
@@ -315,12 +362,17 @@ func (r *router) runGreedy() (*topology.Node, error) {
 	r.stats.PhaseInit = time.Since(initStart)
 
 	for len(active) > 1 {
-		a := g.popCheapest()
+		g.fi.CheckPanic()
+		a, err := g.popCheapest()
+		if err != nil {
+			return nil, err
+		}
 		b := g.best[a.ID].partner
 		k, err := r.merge(a, b)
 		if err != nil {
 			return nil, err
 		}
+		k.P = g.fi.MergedP(k.P)
 		r.stats.Merges++
 
 		out := active[:0]

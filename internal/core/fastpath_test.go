@@ -144,7 +144,7 @@ func TestLazyDeletion(t *testing.T) {
 	in := makeInstance(t, 3, 1)
 	sinks := (&router{in: in, opts: Options{Tech: tech.Default(), Drivers: BareTree,
 		Method: GreedyDistance}}).makeSinks()
-	g := newGreedyState(sinks)
+	g := newGreedyState(sinks, nil)
 	g.setBest(0, cand{partner: sinks[1], cost: 5})
 	g.setBest(1, cand{partner: sinks[0], cost: 5})
 	g.setBest(2, cand{partner: sinks[0], cost: 9})
@@ -152,7 +152,11 @@ func TestLazyDeletion(t *testing.T) {
 	g.setBest(0, cand{partner: sinks[2], cost: 7})
 	// Kill node 1: its (5, 1) entry is dead.
 	g.kill(1)
-	if got := g.popCheapest(); got != sinks[0] {
+	got, err := g.popCheapest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sinks[0] {
 		t.Fatalf("popCheapest returned node %d, want 0 at cost 7", got.ID)
 	}
 }

@@ -94,7 +94,9 @@ func TestGoldenFastPathMatchesReference(t *testing.T) {
 	for _, name := range names {
 		t.Run(name, func(t *testing.T) {
 			in := goldenInstance(t, name)
-			opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree}
+			// Verify runs the independent checker on both paths' trees.
+			opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree,
+				Verify: true}
 
 			refOpts := opts
 			refOpts.Reference = true

@@ -1,0 +1,143 @@
+// Package faultinject provides the deterministic fault-injection hooks the
+// robustness tests use to corrupt the router's fast-path state in a
+// controlled way: a poisoned pair-cost memo row, a poisoned heap entry, a
+// NaN activity on a merged node, or an outright panic inside the merge
+// loop. Each injector fires exactly once, at a seed-derived point of the
+// construction, so every failure a test provokes is reproducible.
+//
+// The hooks are nil-safe no-ops: a nil *Injector (the production
+// configuration) costs one pointer test per call site and changes no
+// behavior, keeping the fast path bit-identical to the reference.
+package faultinject
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Mode selects which fast-path structure the injector corrupts.
+type Mode int
+
+const (
+	// None never fires.
+	None Mode = iota
+	// CorruptMemo poisons one pair-cost memo read with a negative cost,
+	// exercising the read-side memo invariant.
+	CorruptMemo
+	// CorruptHeap poisons one heap push with a −Inf cost, exercising the
+	// pop-side heap/best-table consistency invariant.
+	CorruptHeap
+	// CorruptActivity replaces one merged node's signal probability with
+	// NaN, exercising the post-construction verifier.
+	CorruptActivity
+	// PanicMergeLoop panics inside the fast greedy's merge loop,
+	// exercising the recover-and-fallback path.
+	PanicMergeLoop
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case CorruptMemo:
+		return "corrupt-memo"
+	case CorruptHeap:
+		return "corrupt-heap"
+	case CorruptActivity:
+		return "corrupt-activity"
+	case PanicMergeLoop:
+		return "panic-merge-loop"
+	}
+	return "unknown"
+}
+
+// Plan says what to corrupt and when: the Nth eligible event (0-based)
+// triggers the fault.
+type Plan struct {
+	Mode Mode
+	Nth  int
+}
+
+// NthFromSeed derives a deterministic trigger index in [0, span) from a
+// seed, so a test can sweep injection points without hand-picking them.
+// The mix is splitmix64's finalizer.
+func NthFromSeed(seed uint64, span int) int {
+	if span <= 0 {
+		return 0
+	}
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(span))
+}
+
+// Injector counts eligible events down to the planned one and fires
+// exactly once. The countdown is atomic, so hooks may be reached from the
+// router's parallel scan workers.
+type Injector struct {
+	mode  Mode
+	left  atomic.Int64
+	fired atomic.Bool
+}
+
+// New returns an injector for the plan; a None plan returns nil (the
+// production no-op configuration).
+func New(p Plan) *Injector {
+	if p.Mode == None {
+		return nil
+	}
+	i := &Injector{mode: p.Mode}
+	i.left.Store(int64(p.Nth) + 1)
+	return i
+}
+
+// fire consumes one event of the given mode and reports whether this event
+// is the planned one.
+func (i *Injector) fire(m Mode) bool {
+	if i == nil || i.mode != m {
+		return false
+	}
+	if i.left.Add(-1) == 0 {
+		i.fired.Store(true)
+		return true
+	}
+	return false
+}
+
+// Fired reports whether the fault has been injected.
+func (i *Injector) Fired() bool { return i != nil && i.fired.Load() }
+
+// MemoCost filters a pair-cost memo read, returning a poisoned (negative)
+// cost on the planned event.
+func (i *Injector) MemoCost(cost float64) float64 {
+	if i.fire(CorruptMemo) {
+		return -1
+	}
+	return cost
+}
+
+// HeapCost filters a cost being pushed onto the pair heap, returning −Inf
+// on the planned event.
+func (i *Injector) HeapCost(cost float64) float64 {
+	if i.fire(CorruptHeap) {
+		return math.Inf(-1)
+	}
+	return cost
+}
+
+// MergedP filters a merged node's signal probability, returning NaN on the
+// planned event.
+func (i *Injector) MergedP(p float64) float64 {
+	if i.fire(CorruptActivity) {
+		return math.NaN()
+	}
+	return p
+}
+
+// CheckPanic panics on the planned event.
+func (i *Injector) CheckPanic() {
+	if i.fire(PanicMergeLoop) {
+		panic("faultinject: injected merge-loop panic")
+	}
+}

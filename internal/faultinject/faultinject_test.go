@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNoneIsNil(t *testing.T) {
+	if New(Plan{Mode: None}) != nil {
+		t.Fatal("a None plan must yield the nil (production) injector")
+	}
+	// All hooks must be nil-safe no-ops.
+	var i *Injector
+	if i.MemoCost(3) != 3 || i.HeapCost(4) != 4 || i.MergedP(0.5) != 0.5 || i.Fired() {
+		t.Fatal("nil injector altered a value")
+	}
+	i.CheckPanic()
+}
+
+func TestFiresExactlyOnceAtNth(t *testing.T) {
+	i := New(Plan{Mode: CorruptMemo, Nth: 2})
+	for k := 0; k < 6; k++ {
+		got := i.MemoCost(7)
+		if k == 2 && got >= 0 {
+			t.Fatalf("call %d: fault did not fire", k)
+		}
+		if k != 2 && got != 7 {
+			t.Fatalf("call %d: value altered to %v", k, got)
+		}
+	}
+	if !i.Fired() {
+		t.Fatal("Fired not recorded")
+	}
+}
+
+func TestModeFiltering(t *testing.T) {
+	i := New(Plan{Mode: CorruptHeap, Nth: 0})
+	if i.MemoCost(1) != 1 || i.MergedP(0.2) != 0.2 {
+		t.Fatal("wrong-mode hook consumed the event")
+	}
+	i.CheckPanic()
+	if !math.IsInf(i.HeapCost(1), -1) {
+		t.Fatal("planned heap fault did not fire")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	i := New(Plan{Mode: PanicMergeLoop, Nth: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CheckPanic did not panic")
+		}
+		if !i.Fired() {
+			t.Fatal("Fired not recorded")
+		}
+	}()
+	i.CheckPanic()
+}
+
+func TestConcurrentCountdownFiresOnce(t *testing.T) {
+	i := New(Plan{Mode: CorruptMemo, Nth: 50})
+	var fired sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for k := 0; k < 100; k++ {
+				if i.MemoCost(1) < 0 {
+					n++
+				}
+			}
+			fired.Store(w, n)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	fired.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 1 {
+		t.Fatalf("fault fired %d times, want exactly 1", total)
+	}
+}
+
+func TestNthFromSeed(t *testing.T) {
+	if NthFromSeed(1, 0) != 0 || NthFromSeed(1, -3) != 0 {
+		t.Fatal("degenerate spans must map to 0")
+	}
+	seen := map[int]bool{}
+	for s := uint64(0); s < 64; s++ {
+		n := NthFromSeed(s, 97)
+		if n != NthFromSeed(s, 97) {
+			t.Fatal("not deterministic")
+		}
+		if n < 0 || n >= 97 {
+			t.Fatalf("seed %d: %d outside [0, 97)", s, n)
+		}
+		seen[n] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("seeds map to only %d distinct points — mix too weak", len(seen))
+	}
+}

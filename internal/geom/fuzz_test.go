@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzArc exercises merging-sector construction from arbitrary endpoint
+// pairs: Arc must never panic, must reject exactly the non-arc segments
+// (returning an error instead of the MustArc panic), and every accepted
+// arc must be a degenerate TRR containing both endpoints.
+func FuzzArc(f *testing.F) {
+	f.Add(0.0, 0.0, 5.0, 5.0)
+	f.Add(0.0, 0.0, 5.0, -5.0)
+	f.Add(1.0, 2.0, 1.0, 2.0)
+	f.Add(0.0, 0.0, 3.0, 4.0) // slope not ±1: rejected
+	f.Add(math.NaN(), 0.0, 1.0, 1.0)
+	f.Add(math.Inf(1), 0.0, 1.0, 1.0)
+
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by float64) {
+		a, b := Point{ax, ay}, Point{bx, by}
+		arc, err := Arc(a, b)
+		if err != nil {
+			return
+		}
+		if !arc.Valid() || !arc.IsArc() {
+			t.Fatalf("accepted arc %v is not a valid degenerate TRR", arc)
+		}
+		if !IsArcEndpoints(a, b) {
+			t.Fatalf("Arc accepted %v-%v but IsArcEndpoints rejects it", a, b)
+		}
+		eps := 1e-9 * (1 + math.Abs(ax) + math.Abs(ay) + math.Abs(bx) + math.Abs(by))
+		if !arc.Contains(a, eps) || !arc.Contains(b, eps) {
+			t.Fatalf("arc %v does not contain its endpoints %v, %v", arc, a, b)
+		}
+	})
+}
+
+// FuzzMergeRegion exercises the DME merging-sector intersection with
+// arbitrary point pairs and edge lengths. It must never panic; whenever it
+// reports success the region must be a non-empty TRR whose center honours
+// the two distance constraints (within the collapse tolerance); and
+// feasible merges — la+lb covering the separation — must never be refused.
+func FuzzMergeRegion(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 0.0, 6.0, 4.0)  // exact abutment: arc
+	f.Add(0.0, 0.0, 10.0, 0.0, 8.0, 8.0)  // overlap: fat TRR
+	f.Add(0.0, 0.0, 10.0, 0.0, 2.0, 2.0)  // disjoint: refused
+	f.Add(3.0, 4.0, 3.0, 4.0, 0.0, 0.0)   // same point, zero lengths
+	f.Add(0.0, 0.0, 1.0, 1.0, math.NaN(), 1.0)
+	f.Add(0.0, 0.0, 1e9, -1e9, 1e9, 1e9)
+
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, la, lb float64) {
+		// Constrain to the router's operating domain: finite modest
+		// coordinates, non-negative finite radii — geom documents no
+		// behaviour outside it, only absence of panics (checked above
+		// by falling through for wild inputs too).
+		a, b := Point{ax, ay}, Point{bx, by}
+		r, ok := MergeRegion(FromPoint(a), FromPoint(b), la, lb)
+		sane := finite(ax) && finite(ay) && finite(bx) && finite(by) &&
+			la >= 0 && lb >= 0 && finite(la) && finite(lb) &&
+			math.Abs(ax)+math.Abs(ay)+math.Abs(bx)+math.Abs(by)+la+lb < 1e9
+		if !sane {
+			return
+		}
+		if ok && !r.Valid() {
+			t.Fatalf("MergeRegion(%v, %v, %v, %v) reported ok with empty region %v", a, b, la, lb, r)
+		}
+		if la+lb >= Dist(a, b) && !ok {
+			t.Fatalf("feasible merge refused: %v-%v la=%v lb=%v (dist %v)", a, b, la, lb, Dist(a, b))
+		}
+		if ok {
+			tol := 1e-6 * (1 + la + lb + Dist(a, b))
+			c := r.Center()
+			if Dist(c, a) > la+tol || Dist(c, b) > lb+tol {
+				t.Fatalf("region center %v violates radii: d(a)=%v>la=%v or d(b)=%v>lb=%v",
+					c, Dist(c, a), la, Dist(c, b), lb)
+			}
+		}
+	})
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

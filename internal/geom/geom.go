@@ -52,12 +52,22 @@ func FromPoint(p Point) TRR {
 }
 
 // Arc returns the Manhattan arc (slope ±1 segment) between points a and b.
-// It panics if the segment is not a Manhattan arc; use IsArcEndpoints to
-// test first when the input is untrusted.
-func Arc(a, b Point) TRR {
+// It returns an error when the segment is not a Manhattan arc (including
+// NaN coordinates, for which no slope is defined).
+func Arc(a, b Point) (TRR, error) {
 	t := FromPoint(a).Union(FromPoint(b))
 	if !t.IsArc() {
-		panic(fmt.Sprintf("geom: %v-%v is not a Manhattan arc", a, b))
+		return TRR{}, fmt.Errorf("geom: %v-%v is not a Manhattan arc", a, b)
+	}
+	return t, nil
+}
+
+// MustArc is Arc for compile-time-known endpoints; it panics when the
+// segment is not a Manhattan arc.
+func MustArc(a, b Point) TRR {
+	t, err := Arc(a, b)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }

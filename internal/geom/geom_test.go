@@ -68,14 +68,14 @@ func TestFromPointRoundTrip(t *testing.T) {
 }
 
 func TestArc(t *testing.T) {
-	a := Arc(Point{0, 0}, Point{2, 2}) // slope +1
+	a := MustArc(Point{0, 0}, Point{2, 2}) // slope +1
 	if !a.IsArc() || a.IsPoint() {
 		t.Fatalf("expected non-degenerate arc, got %v", a)
 	}
 	if got := a.ArcLength(); got != 4 {
 		t.Errorf("ArcLength = %v, want 4", got)
 	}
-	b := Arc(Point{0, 2}, Point{2, 0}) // slope −1
+	b := MustArc(Point{0, 2}, Point{2, 0}) // slope −1
 	if !b.IsArc() {
 		t.Fatalf("expected arc, got %v", b)
 	}
@@ -85,12 +85,15 @@ func TestArc(t *testing.T) {
 	if IsArcEndpoints(Point{0, 0}, Point{1, 2}) {
 		t.Error("slope 2 segment must not be an arc")
 	}
+	if _, err := Arc(Point{0, 0}, Point{1, 2}); err == nil {
+		t.Error("Arc on a non-arc segment should return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("Arc on a non-arc segment should panic")
+			t.Error("MustArc on a non-arc segment should panic")
 		}
 	}()
-	Arc(Point{0, 0}, Point{1, 2})
+	MustArc(Point{0, 0}, Point{1, 2})
 }
 
 func TestExpandShrinkInverse(t *testing.T) {
@@ -216,7 +219,7 @@ func TestMergeIntersectionIsArc(t *testing.T) {
 }
 
 func TestNearest(t *testing.T) {
-	tr := Arc(Point{0, 0}, Point{4, 4})
+	tr := MustArc(Point{0, 0}, Point{4, 4})
 	cases := []struct {
 		p    Point
 		want float64 // expected distance

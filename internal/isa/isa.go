@@ -14,6 +14,7 @@ package isa
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand/v2"
 	"strings"
@@ -73,14 +74,28 @@ func (b Bitset) Clone() Bitset {
 	return c
 }
 
+// MaxModules and MaxInstr bound the accepted ISA size — far above any real
+// processor, but small enough that a corrupt count in a serialized
+// benchmark cannot drive allocation.
+const (
+	MaxModules = 1 << 20
+	MaxInstr   = 1 << 16
+)
+
 // New builds a Description from explicit usage lists. uses[k] lists the
 // module indices exercised by instruction k; duplicates are ignored.
 func New(numModules int, uses [][]int) (*Description, error) {
 	if numModules <= 0 {
 		return nil, errors.New("isa: need at least one module")
 	}
+	if numModules > MaxModules {
+		return nil, fmt.Errorf("isa: %d modules exceeds limit %d", numModules, MaxModules)
+	}
 	if len(uses) == 0 {
 		return nil, errors.New("isa: need at least one instruction")
+	}
+	if len(uses) > MaxInstr {
+		return nil, fmt.Errorf("isa: %d instructions exceeds limit %d", len(uses), MaxInstr)
 	}
 	d := &Description{NumModules: numModules}
 	for k, list := range uses {
@@ -178,6 +193,11 @@ func (g GenConfig) Validate() error {
 	switch {
 	case g.NumModules <= 0 || g.NumInstr <= 0:
 		return errors.New("isa: NumModules and NumInstr must be positive")
+	case g.NumModules > MaxModules || g.NumInstr > MaxInstr:
+		return fmt.Errorf("isa: ISA size %d×%d exceeds limits %d×%d",
+			g.NumInstr, g.NumModules, MaxInstr, MaxModules)
+	case math.IsNaN(g.Usage) || math.IsNaN(g.Scatter):
+		return errors.New("isa: Usage and Scatter must not be NaN")
 	case g.Usage <= 0 || g.Usage > 1:
 		return errors.New("isa: Usage must be in (0, 1]")
 	case g.Scatter < 0 || g.Scatter > 1:

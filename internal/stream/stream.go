@@ -24,14 +24,27 @@ import (
 // index executed in clock cycle t.
 type Stream []int
 
-// Validate checks that every entry indexes an instruction of d.
+// ErrInvalid is wrapped by every validation failure of a stream, so callers
+// can classify bad-trace errors with errors.Is.
+var ErrInvalid = errors.New("stream: invalid instruction stream")
+
+// MaxLen bounds the accepted stream length. The paper's traces are
+// "thousands of instructions"; the limit leaves three orders of magnitude
+// of headroom while keeping a corrupt length field from driving allocation.
+const MaxLen = 1 << 24
+
+// Validate checks that the stream is non-empty, within MaxLen, and that
+// every entry indexes an instruction of d.
 func (s Stream) Validate(d *isa.Description) error {
 	if len(s) == 0 {
-		return errors.New("stream: empty")
+		return fmt.Errorf("%w: empty", ErrInvalid)
+	}
+	if len(s) > MaxLen {
+		return fmt.Errorf("%w: %d cycles exceeds limit %d", ErrInvalid, len(s), MaxLen)
 	}
 	for t, k := range s {
 		if k < 0 || k >= d.NumInstr() {
-			return fmt.Errorf("stream: cycle %d has out-of-range instruction %d", t, k)
+			return fmt.Errorf("%w: cycle %d has out-of-range instruction %d", ErrInvalid, t, k)
 		}
 	}
 	return nil

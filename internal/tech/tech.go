@@ -19,6 +19,7 @@ package tech
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Driver models an active element (AND masking gate or plain buffer)
@@ -45,16 +46,26 @@ const PsPerOhmFF = 1e-3
 // Scaled returns the driver at s times the unit drive strength: s-fold
 // input capacitance and area, 1/s output resistance, unchanged intrinsic
 // delay (dominated by the logic stages, not the output stage). s must be
-// positive.
-func (d Driver) Scaled(s float64) Driver {
-	if s <= 0 {
-		panic("tech: non-positive drive strength")
+// positive and finite.
+func (d Driver) Scaled(s float64) (Driver, error) {
+	if !(s > 0) || math.IsInf(s, 1) {
+		return Driver{}, fmt.Errorf("tech: drive strength %v is not positive and finite", s)
 	}
 	d.Name = fmt.Sprintf("%s_x%g", d.Name, s)
 	d.Cin *= s
 	d.Rout /= s
 	d.Area *= s
-	return d
+	return d, nil
+}
+
+// MustScaled is Scaled for drive strengths already vetted by
+// Params.Validate; it panics on a non-positive or non-finite strength.
+func (d Driver) MustScaled(s float64) Driver {
+	scaled, err := d.Scaled(s)
+	if err != nil {
+		panic(err)
+	}
+	return scaled
 }
 
 // Params collects every technology constant used by the router, the
@@ -136,26 +147,36 @@ func (p Params) CtrlWireCap(length float64) float64 {
 	return p.CtrlCapPerLambda * length
 }
 
+// posFinite reports whether v is strictly positive and finite; the negated
+// form also rejects NaN (every comparison with NaN is false).
+func posFinite(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
 // Validate reports whether the parameter set is physically meaningful.
+// NaN and infinite parameters are rejected along with non-positive ones.
 func (p Params) Validate() error {
 	switch {
-	case p.WireResPerLambda <= 0:
-		return errors.New("tech: wire resistance must be positive")
-	case p.WireCapPerLambda <= 0:
-		return errors.New("tech: wire capacitance must be positive")
-	case p.CtrlCapPerLambda <= 0:
-		return errors.New("tech: controller wire capacitance must be positive")
-	case p.WirePitch <= 0 || p.CtrlPitch <= 0:
-		return errors.New("tech: wire pitches must be positive")
+	case !posFinite(p.WireResPerLambda):
+		return errors.New("tech: wire resistance must be positive and finite")
+	case !posFinite(p.WireCapPerLambda):
+		return errors.New("tech: wire capacitance must be positive and finite")
+	case !posFinite(p.CtrlCapPerLambda):
+		return errors.New("tech: controller wire capacitance must be positive and finite")
+	case !posFinite(p.WirePitch) || !posFinite(p.CtrlPitch):
+		return errors.New("tech: wire pitches must be positive and finite")
+	case math.IsNaN(p.SizingTargetPs) || p.SizingTargetPs < 0 || math.IsInf(p.SizingTargetPs, 1):
+		return errors.New("tech: sizing target must be non-negative and finite")
 	}
 	for _, d := range []Driver{p.Gate, p.Buffer} {
-		if d.Cin <= 0 || d.Rout <= 0 || d.Dint < 0 || d.Area <= 0 {
+		if !posFinite(d.Cin) || !posFinite(d.Rout) || !posFinite(d.Area) ||
+			math.IsNaN(d.Dint) || d.Dint < 0 || math.IsInf(d.Dint, 1) {
 			return fmt.Errorf("tech: driver %q has non-physical parameters", d.Name)
 		}
 	}
 	for _, s := range p.DriveStrengths {
-		if s <= 0 {
-			return errors.New("tech: drive strengths must be positive")
+		if !posFinite(s) {
+			return errors.New("tech: drive strengths must be positive and finite")
 		}
 	}
 	return nil

@@ -58,19 +58,24 @@ func TestWireCaps(t *testing.T) {
 
 func TestScaled(t *testing.T) {
 	g := Default().Gate
-	s := g.Scaled(4)
+	s := g.MustScaled(4)
 	if s.Cin != 4*g.Cin || s.Rout != g.Rout/4 || s.Area != 4*g.Area || s.Dint != g.Dint {
 		t.Errorf("Scaled(4) wrong: %+v", s)
 	}
 	if s.Name == g.Name {
 		t.Error("scaled driver must be distinguishable by name")
 	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := g.Scaled(bad); err == nil {
+			t.Errorf("Scaled(%v) must return an error", bad)
+		}
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("Scaled(0) must panic")
+			t.Error("MustScaled(0) must panic")
 		}
 	}()
-	g.Scaled(0)
+	g.MustScaled(0)
 }
 
 func TestPickStrength(t *testing.T) {

@@ -1,0 +1,217 @@
+package verify_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/power"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+// routed builds one small gated tree plus its evaluation for the checker
+// to chew on.
+func routed(t *testing.T) (*topology.Tree, *ctrl.Controller, tech.Params, power.Report) {
+	t.Helper()
+	b, err := bench.Generate(bench.Config{Name: "v", NumSinks: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := activity.NewProfile(b.ISA, b.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &core.Instance{Die: b.Die, SinkLocs: b.SinkLocs, SinkCaps: b.SinkCaps, Profile: prof}
+	p := tech.Default()
+	tree, _, err := core.Route(in, core.Options{Tech: p, Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctrl.Centralized(b.Die)
+	return tree, c, p, power.Evaluate(tree, c, p)
+}
+
+// expectViolation asserts err wraps ErrInvariant and failed the named check.
+func expectViolation(t *testing.T, err error, check string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("corruption of %q went undetected", check)
+	}
+	if !errors.Is(err, verify.ErrInvariant) {
+		t.Fatalf("%v does not wrap ErrInvariant", err)
+	}
+	var v *verify.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("%v is not a *Violation", err)
+	}
+	if v.Check != check {
+		t.Fatalf("violation %v failed check %q, want %q", v, v.Check, check)
+	}
+}
+
+func TestCleanTreePasses(t *testing.T) {
+	tree, c, p, rep := routed(t)
+	if err := verify.Tree(tree, p, 0); err != nil {
+		t.Fatalf("clean tree rejected: %v", err)
+	}
+	if err := verify.Report(tree, c, p, rep); err != nil {
+		t.Fatalf("clean report rejected: %v", err)
+	}
+}
+
+// firstDriven returns a node carrying a driver (so its edge length can be
+// perturbed without tripping the electrical cross-check first — the driver
+// shields the wire from the parent's recorded capacitance).
+func firstDriven(t *testing.T, tree *topology.Tree) *topology.Node {
+	t.Helper()
+	var pick *topology.Node
+	tree.Root.PreOrder(func(n *topology.Node) {
+		if pick == nil && n.Driver != nil && n.Parent != nil {
+			pick = n
+		}
+	})
+	if pick == nil {
+		t.Fatal("tree has no driven edge")
+	}
+	return pick
+}
+
+func TestTreeCatchesCorruption(t *testing.T) {
+	tree, _, p, _ := routed(t)
+
+	t.Run("skew", func(t *testing.T) {
+		n := firstDriven(t, tree)
+		old := n.EdgeLen
+		n.EdgeLen += 500
+		defer func() { n.EdgeLen = old }()
+		expectViolation(t, verify.Tree(tree, p, 0), "skew")
+	})
+
+	t.Run("geometry-off-segment", func(t *testing.T) {
+		n := tree.Root.Left
+		old := n.Loc
+		n.Loc.X += 17
+		n.Loc.Y += 23
+		defer func() { n.Loc = old }()
+		expectViolation(t, verify.Tree(tree, p, 0), "geometry")
+	})
+
+	t.Run("geometry-negative-snaking", func(t *testing.T) {
+		// A bare (driverless) leaf edge shortened below the parent
+		// distance: the wire would have to tunnel.
+		var n *topology.Node
+		tree.Root.PreOrder(func(c *topology.Node) {
+			if n == nil && c.Parent != nil && c.Driver == nil && c.EdgeLen > 1 {
+				n = c
+			}
+		})
+		if n == nil {
+			t.Skip("no bare edge with positive length")
+		}
+		old := n.EdgeLen
+		n.EdgeLen = 0
+		defer func() { n.EdgeLen = old }()
+		if err := verify.Tree(tree, p, 0); err == nil {
+			t.Fatal("shortened edge went undetected")
+		}
+	})
+
+	t.Run("electrical", func(t *testing.T) {
+		n := tree.Root
+		old := n.Cap
+		n.Cap *= 2
+		defer func() { n.Cap = old }()
+		expectViolation(t, verify.Tree(tree, p, 0), "electrical")
+	})
+
+	t.Run("activity-range", func(t *testing.T) {
+		n := tree.Root
+		old := n.P
+		n.P = 1.5
+		defer func() { n.P = old }()
+		expectViolation(t, verify.Tree(tree, p, 0), "activity")
+	})
+
+	t.Run("activity-nan", func(t *testing.T) {
+		n := tree.Root
+		old := n.P
+		n.P = math.NaN()
+		defer func() { n.P = old }()
+		expectViolation(t, verify.Tree(tree, p, 0), "activity")
+	})
+
+	t.Run("activity-monotonicity", func(t *testing.T) {
+		// A parent's enable is the union of its children's, so P may
+		// never shrink from child to parent.
+		n := tree.Root
+		old := n.P
+		n.P = math.Max(n.Left.P, n.Right.P) / 2
+		defer func() { n.P = old }()
+		expectViolation(t, verify.Tree(tree, p, 0), "activity")
+	})
+
+	t.Run("topology", func(t *testing.T) {
+		n := tree.Root.Left
+		old := n.EdgeLen
+		n.EdgeLen = math.NaN()
+		defer func() { n.EdgeLen = old }()
+		expectViolation(t, verify.Tree(tree, p, 0), "topology")
+	})
+}
+
+func TestReportCatchesCorruption(t *testing.T) {
+	tree, c, p, rep := routed(t)
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(r *power.Report)
+	}{
+		{"clock-sc", func(r *power.Report) { r.ClockSC *= 1.01 }},
+		{"ctrl-sc", func(r *power.Report) { r.CtrlSC += 1 }},
+		{"total-not-sum", func(r *power.Report) { r.TotalSC += 5 }},
+		{"gate-count", func(r *power.Report) { r.NumGates++ }},
+		{"sink-count", func(r *power.Report) { r.NumSinks-- }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := rep
+			tc.mutate(&bad)
+			expectViolation(t, verify.Report(tree, c, p, bad), "power")
+		})
+	}
+}
+
+// TestBoundedSkewBudget: a tree routed under a positive skew budget passes
+// with that budget and fails against a much tighter one.
+func TestBoundedSkewBudget(t *testing.T) {
+	b, err := bench.Generate(bench.Config{Name: "v", NumSinks: 48, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := activity.NewProfile(b.ISA, b.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &core.Instance{Die: b.Die, SinkLocs: b.SinkLocs, SinkCaps: b.SinkCaps, Profile: prof}
+	p := tech.Default()
+	tree, _, err := core.Route(in, core.Options{Tech: p, Method: core.MinSwitchedCap,
+		Drivers: core.GatedTree, SkewBoundPs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Tree(tree, p, 60); err != nil {
+		t.Fatalf("tree rejected under its own budget: %v", err)
+	}
+	a := power.Evaluate(tree, ctrl.Centralized(b.Die), p)
+	if a.SkewPs > 1e-3 {
+		// The budget was actually used; the tree must then fail a
+		// zero-skew check.
+		expectViolation(t, verify.Tree(tree, p, 0), "skew")
+	}
+}
