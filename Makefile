@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: all build vet test test-full bench race fuzz clean
+.PHONY: all build vet lint test test-full bench race fuzz clean
 
-# Default: build everything, vet, and run the fast test suite.
-all: build vet test
+# Default: build everything, lint, and run the fast test suite.
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Lint: vet plus a gofmt check that fails on any unformatted file.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # Fast suite (-short trims the golden r1-r5 equivalence run to r1-r2).
 test:
@@ -23,10 +30,13 @@ test-full:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkRoute|BenchmarkConstructScaling' -benchmem .
 
-# Race detector over the packages with Workers > 1 parallel scans, plus the
-# fallback/cancellation paths and the public API (verifier always on there).
+# Race detector over the packages with Workers > 1 parallel scans, the
+# fallback/cancellation paths, the traced/metered route path (concurrent
+# routes sharing one tracer and registry live in ./internal/core and
+# ./internal/obs), the gcr command, and the public API (verifier always on
+# there).
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/activity/... .
+	$(GO) test -race -short ./internal/core/... ./internal/obs/... ./internal/activity/... ./cmd/gcr/... .
 
 # Short mutation runs over every fuzz target. The checked-in seed corpora
 # (r1-r5 serializations among them) already run as unit cases in `make test`;

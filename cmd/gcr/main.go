@@ -10,24 +10,37 @@
 //	gcr -bench r1 -mode gated-red -draw          # ASCII floorplan
 //	gcr -bench r1 -mode gated-red -verify        # independent result checker
 //	gcr -bench r5 -mode gated -timeout 30s       # bounded runtime
+//	gcr -bench r1 -trace run.jsonl               # per-merge trace + flame summary
+//	gcr -bench r1 -metrics                       # Prometheus-style metrics dump
+//	gcr -bench r1 -manifest run.json             # reproducibility manifest
+//	gcr -bench r5 -pprof localhost:6060          # live pprof/expvar server
+//
+// Contradictory or malformed flag combinations are rejected before any work
+// starts, with exit status 2.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	gatedclock "repro"
 	"repro/internal/bench"
 	"repro/internal/draw"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
 	benchName := flag.String("bench", "", "standard benchmark name (r1..r5)")
-	inFile := flag.String("in", "", "benchmark file (overrides -bench)")
+	inFile := flag.String("in", "", "benchmark file (mutually exclusive with -bench)")
 	mode := flag.String("mode", "gated-red", "clock style: bare|buffered|gated|gated-red")
 	controllers := flag.Int("controllers", 1, "number of distributed gate controllers (power of two)")
 	dumpTree := flag.Bool("tree", false, "print the routed tree layout")
@@ -43,18 +56,41 @@ func main() {
 	verilogOut := flag.String("verilog", "", "write a structural Verilog netlist to this file")
 	spiceOut := flag.String("spice", "", "write a SPICE RC deck to this file")
 	svgOut := flag.String("svg", "", "write an SVG floorplan to this file")
+	traceOut := flag.String("trace", "", "write a JSONL span trace of the construction to this file and print a flame summary")
+	metricsDump := flag.Bool("metrics", false, "attach the process metrics registry to the run and dump it (Prometheus text format) on exit")
+	manifestOut := flag.String("manifest", "", "write a JSON run manifest (options, seed, durations, result digest) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (host:port) for the duration of the run")
 	flag.Parse()
 
-	if err := run(runCfg{
+	cfg := runCfg{
 		benchName: *benchName, inFile: *inFile, mode: *mode, controllers: *controllers,
 		dumpTree: *dumpTree, drawMap: *drawMap, simulate: *simulate, domains: *domains,
 		stats: *stats, workers: *workers, reference: *reference,
 		verify: *verifyTree, timeout: *timeout, fallback: *fallback,
 		verilogOut: *verilogOut, spiceOut: *spiceOut, svgOut: *svgOut,
-	}); err != nil {
+		traceOut: *traceOut, metricsDump: *metricsDump,
+		manifestOut: *manifestOut, pprofAddr: *pprofAddr,
+	}
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gcr:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// usageError marks a command line the tool refuses to act on: missing or
+// contradictory flags, not a failure of the routing itself. main maps it to
+// exit status 2 (the conventional usage-error status).
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+// usagef builds a usageError.
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
 }
 
 // runCfg carries the parsed command line.
@@ -69,13 +105,73 @@ type runCfg struct {
 	workers                 int
 	verilogOut, spiceOut    string
 	svgOut                  string
+	traceOut, manifestOut   string
+	metricsDump             bool
+	pprofAddr               string
 }
 
-func run(cfg runCfg) error {
+// validModes mirrors the option constructors in run.
+var validModes = map[string]bool{"bare": true, "buffered": true, "gated": true, "gated-red": true}
+
+// validate rejects malformed or contradictory flag combinations before any
+// routing work starts. Every error it returns is a usageError.
+func validate(cfg runCfg) error {
+	switch {
+	case cfg.benchName == "" && cfg.inFile == "":
+		return usagef("need -bench or -in")
+	case cfg.benchName != "" && cfg.inFile != "":
+		return usagef("-bench %q and -in %q are mutually exclusive", cfg.benchName, cfg.inFile)
+	}
+	if !validModes[cfg.mode] {
+		return usagef("unknown mode %q (want bare|buffered|gated|gated-red)", cfg.mode)
+	}
+	if cfg.reference && cfg.fallback {
+		return usagef("-fallback re-routes with the reference greedy; combining it with -reference is contradictory")
+	}
+	if cfg.controllers < 1 || cfg.controllers&(cfg.controllers-1) != 0 {
+		return usagef("-controllers %d must be a power of two >= 1", cfg.controllers)
+	}
+	if cfg.timeout < 0 {
+		return usagef("-timeout %v must not be negative", cfg.timeout)
+	}
+	if cfg.workers < 0 {
+		return usagef("-workers %d must not be negative", cfg.workers)
+	}
+	if cfg.domains < 0 {
+		return usagef("-domains %d must not be negative", cfg.domains)
+	}
+	if cfg.pprofAddr != "" {
+		if _, _, err := net.SplitHostPort(cfg.pprofAddr); err != nil {
+			return usagef("-pprof %q is not a host:port address: %v", cfg.pprofAddr, err)
+		}
+	}
+	return nil
+}
+
+func run(w io.Writer, cfg runCfg) error {
+	if err := validate(cfg); err != nil {
+		return err
+	}
+	startedAt := time.Now()
 	benchName, inFile, mode := cfg.benchName, cfg.inFile, cfg.mode
 	controllers, dumpTree, drawMap := cfg.controllers, cfg.dumpTree, cfg.drawMap
 	simulate, domains := cfg.simulate, cfg.domains
+
+	if cfg.pprofAddr != "" {
+		ln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		obs.Default().PublishExpvar("gatedclock")
+		srv := &http.Server{}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(w, "pprof/expvar server on http://%s/debug/pprof/\n", ln.Addr())
+	}
+
 	var b *gatedclock.Benchmark
+	var seed uint64
 	var err error
 	switch {
 	case inFile != "":
@@ -87,12 +183,15 @@ func run(cfg runCfg) error {
 		if b, err = bench.Read(f); err != nil {
 			return err
 		}
-	case benchName != "":
-		if b, err = gatedclock.StandardBenchmark(benchName); err != nil {
+	default:
+		cfg, err := bench.Standard(benchName)
+		if err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("need -bench or -in")
+		seed = cfg.Seed
+		if b, err = bench.Generate(cfg); err != nil {
+			return err
+		}
 	}
 
 	d, err := gatedclock.NewDesign(b)
@@ -110,8 +209,6 @@ func run(cfg runCfg) error {
 		opts = gatedclock.GatedOptions()
 	case "gated-red":
 		opts = gatedclock.GatedReducedOptions()
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
 	}
 	if controllers > 1 {
 		c, err := gatedclock.DistributedController(b, controllers)
@@ -124,6 +221,21 @@ func run(cfg runCfg) error {
 	opts.Reference = cfg.reference
 	opts.Verify = cfg.verify
 	opts.FallbackOnError = cfg.fallback
+
+	var tr *gatedclock.JSONLTracer
+	var traceFile *os.File
+	if cfg.traceOut != "" {
+		traceFile, err = os.Create(cfg.traceOut)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		tr = gatedclock.NewJSONLTracer(traceFile)
+		opts.Tracer = tr
+	}
+	if cfg.metricsDump {
+		opts.Metrics = gatedclock.DefaultMetrics()
+	}
 
 	ctx := context.Background()
 	if cfg.timeout > 0 {
@@ -139,23 +251,23 @@ func run(cfg runCfg) error {
 		fmt.Fprintf(os.Stderr, "gcr: fast path failed, recovered via reference greedy: %s\n",
 			res.Stats.DowngradeReason)
 	}
-	printReport(b, mode, res)
+	printReport(w, b, mode, res)
 	if cfg.stats {
-		printStats(res.Stats)
+		printStats(w, res.Stats)
 	}
 	if dumpTree {
-		printTree(res.Tree)
+		printTree(w, res.Tree)
 	}
 	if drawMap {
-		fmt.Print(draw.Tree(res.Tree, b.Die, res.Controller, draw.Config{}))
+		fmt.Fprint(w, draw.Tree(res.Tree, b.Die, res.Controller, draw.Config{}))
 	}
 	if simulate {
 		sr, err := res.Simulate(b.Stream)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("cycle-accurate replay over %d cycles:\n", sr.Cycles)
-		fmt.Printf("  clock SC %.1f (predicted %.1f)   ctrl SC %.1f (predicted %.1f)   gates on %.0f%% of the time\n",
+		fmt.Fprintf(w, "cycle-accurate replay over %d cycles:\n", sr.Cycles)
+		fmt.Fprintf(w, "  clock SC %.1f (predicted %.1f)   ctrl SC %.1f (predicted %.1f)   gates on %.0f%% of the time\n",
 			sr.ClockSC, res.Report.ClockSC, sr.CtrlSC, res.Report.CtrlSC, sr.GateOnFraction*100)
 	}
 	if cfg.verilogOut != "" {
@@ -170,14 +282,14 @@ func run(cfg runCfg) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote Verilog netlist to %s\n", cfg.verilogOut)
+		fmt.Fprintf(w, "wrote Verilog netlist to %s\n", cfg.verilogOut)
 	}
 	if cfg.svgOut != "" {
 		svg := draw.SVG(res.Tree, b.Die, res.Controller, draw.SVGConfig{})
 		if err := os.WriteFile(cfg.svgOut, []byte(svg), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote SVG floorplan to %s\n", cfg.svgOut)
+		fmt.Fprintf(w, "wrote SVG floorplan to %s\n", cfg.svgOut)
 	}
 	if cfg.spiceOut != "" {
 		f, err := os.Create(cfg.spiceOut)
@@ -191,7 +303,7 @@ func run(cfg runCfg) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote SPICE deck to %s\n", cfg.spiceOut)
+		fmt.Fprintf(w, "wrote SPICE deck to %s\n", cfg.spiceOut)
 	}
 	if domains > 0 {
 		bd, err := res.DomainBreakdown()
@@ -211,12 +323,91 @@ func run(cfg runCfg) error {
 			}
 			t.AddRow(report.F(d.Cap, 0), p, report.I(d.Sinks), at)
 		}
-		t.Fprint(os.Stdout)
+		t.Fprint(w)
+	}
+	if tr != nil {
+		if err := tr.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		if err := tr.WriteSummary(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote trace to %s (%d merge spans)\n", cfg.traceOut, tr.MergeCount())
+	}
+	if cfg.manifestOut != "" {
+		if err := writeManifest(cfg, b, seed, res, startedAt); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote run manifest to %s\n", cfg.manifestOut)
+	}
+	if cfg.metricsDump {
+		if err := gatedclock.DefaultMetrics().WriteProm(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func printReport(b *gatedclock.Benchmark, mode string, res *gatedclock.Result) {
+// writeManifest records the run's provenance: inputs, flag-level options,
+// phase durations and the canonical result digest.
+func writeManifest(cfg runCfg, b *gatedclock.Benchmark, seed uint64,
+	res *gatedclock.Result, startedAt time.Time) error {
+	benchLabel := cfg.benchName
+	if benchLabel == "" {
+		benchLabel = cfg.inFile
+	}
+	s := res.Stats
+	m := &obs.Manifest{
+		Tool:      "gcr",
+		StartedAt: startedAt,
+		Bench:     benchLabel,
+		Seed:      seed,
+		Sinks:     b.NumSinks(),
+		Options: map[string]any{
+			"mode":        cfg.mode,
+			"controllers": cfg.controllers,
+			"workers":     cfg.workers,
+			"reference":   cfg.reference,
+			"verify":      cfg.verify,
+			"fallback":    cfg.fallback,
+			"timeout":     cfg.timeout.String(),
+		},
+		DurationsNs: map[string]int64{
+			"init":   int64(s.PhaseInit),
+			"greedy": int64(s.PhaseGreedy),
+			"embed":  int64(s.PhaseEmbed),
+			"total":  int64(time.Since(startedAt)),
+		},
+		ResultDigest: res.Tree.Digest(),
+		Result: map[string]any{
+			"total_sc_ff":      res.Report.TotalSC,
+			"clock_sc_ff":      res.Report.ClockSC,
+			"ctrl_sc_ff":       res.Report.CtrlSC,
+			"wirelength":       res.Report.ClockWirelength,
+			"gates":            res.Report.NumGates,
+			"buffers":          res.Report.NumBuffers,
+			"skew_ps":          res.Report.SkewPs,
+			"merges":           s.Merges,
+			"snakes":           s.Snakes,
+			"downgraded":       s.Downgraded,
+			"downgrade_reason": s.DowngradeReason,
+		},
+	}
+	f, err := os.Create(cfg.manifestOut)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printReport(w io.Writer, b *gatedclock.Benchmark, mode string, res *gatedclock.Result) {
 	rep := res.Report
 	t := report.New(fmt.Sprintf("%s / %s (%d sinks, %d controller(s))",
 		b.Name, mode, b.NumSinks(), res.Controller.K()),
@@ -233,13 +424,13 @@ func printReport(b *gatedclock.Benchmark, mode string, res *gatedclock.Result) {
 	t.AddRow("phase delay (ps)", report.F(rep.MaxDelayPs, 1))
 	t.AddRow("skew (ps)", fmt.Sprintf("%.3g", rep.SkewPs))
 	t.AddRow("merges / snakes", fmt.Sprintf("%d / %d", res.Stats.Merges, res.Stats.Snakes))
-	t.Fprint(os.Stdout)
+	t.Fprint(w)
 }
 
 // printStats renders the construction statistics of the fast greedy: how
 // many candidate pairs were fully evaluated, pruned by the lower bound or
 // served by the memo, and where the wall time went.
-func printStats(s gatedclock.Stats) {
+func printStats(w io.Writer, s gatedclock.Stats) {
 	t := report.New("router statistics", "Counter", "Value")
 	t.AddRow("pair evals (merges solved)", report.I(s.PairEvals))
 	t.AddRow("pair evals skipped (lower bound)", report.I(s.PairEvalsSkipped))
@@ -253,18 +444,18 @@ func printStats(s gatedclock.Stats) {
 	} else {
 		t.AddRow("downgraded to reference", "no")
 	}
-	t.Fprint(os.Stdout)
+	t.Fprint(w)
 }
 
-func printTree(t *gatedclock.Tree) {
-	fmt.Printf("source (%.1f, %.1f)\n", t.Source.X, t.Source.Y)
+func printTree(w io.Writer, t *gatedclock.Tree) {
+	fmt.Fprintf(w, "source (%.1f, %.1f)\n", t.Source.X, t.Source.Y)
 	var walk func(n *gatedclock.Node, depth int)
 	walk = func(n *gatedclock.Node, depth int) {
 		if n == nil {
 			return
 		}
 		for i := 0; i < depth; i++ {
-			fmt.Print("  ")
+			fmt.Fprint(w, "  ")
 		}
 		kind := "steiner"
 		if n.IsSink() {
@@ -277,7 +468,7 @@ func printTree(t *gatedclock.Tree) {
 				driver = fmt.Sprintf(" +gate[P=%.2f Ptr=%.2f]", n.P, n.Ptr)
 			}
 		}
-		fmt.Printf("%s (%.1f, %.1f) edge=%.1f%s\n", kind, n.Loc.X, n.Loc.Y, n.EdgeLen, driver)
+		fmt.Fprintf(w, "%s (%.1f, %.1f) edge=%.1f%s\n", kind, n.Loc.X, n.Loc.Y, n.EdgeLen, driver)
 		walk(n.Left, depth+1)
 		walk(n.Right, depth+1)
 	}

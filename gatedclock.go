@@ -35,6 +35,7 @@ import (
 	"repro/internal/ctrl"
 	"repro/internal/gating"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/regate"
 	"repro/internal/sim"
@@ -83,7 +84,32 @@ type (
 	Corner = power.Corner
 	// CornerReport pairs a corner with its evaluation.
 	CornerReport = power.CornerReport
+	// Tracer receives construction spans (Options.Tracer; nil disables).
+	Tracer = obs.Tracer
+	// TraceSpan is one traced event: a construction phase or a single merge.
+	TraceSpan = obs.Span
+	// JSONLTracer streams spans as JSON Lines and can summarize them.
+	JSONLTracer = obs.JSONLTracer
+	// Metrics is a registry of counters/gauges/histograms (Options.Metrics).
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, mergeable
+	// across workers.
+	MetricsSnapshot = obs.Snapshot
+	// Manifest is the per-run provenance record (inputs, options, durations,
+	// result digest) the gcr command can emit.
+	Manifest = obs.Manifest
 )
+
+// NewJSONLTracer returns a tracer streaming spans to w as JSON Lines.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// NewMetrics returns a fresh, empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry the internal packages
+// (power, verify, ctrl) register their instruments on. Pass it as
+// Options.Metrics to collect the router's counters alongside them.
+func DefaultMetrics() *Metrics { return obs.Default() }
 
 // DefaultCorners returns the fast/nominal/slow corner set.
 func DefaultCorners() []Corner { return power.DefaultCorners() }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/gating"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/verify"
@@ -176,6 +177,17 @@ type Options struct {
 	// FaultInject deterministically corrupts fast-path state; used by the
 	// robustness tests, nil in production.
 	FaultInject *faultinject.Injector
+	// Tracer receives per-phase and per-merge spans from the construction
+	// (merge index, pair chosen, Equation-3 cost, snaking, memo hit/miss
+	// deltas). nil disables tracing; the disabled path adds no allocations
+	// to the merge loop. Tracing is a read-only tap: traced runs are
+	// bit-identical to silent ones.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, is the registry the router updates with the
+	// core instrument set (merge counters, merge-cost histogram, heap
+	// depth, cache hit/skip/eval, downgrades, phase timings). nil disables
+	// metrics at zero cost.
+	Metrics *obs.Registry
 }
 
 // Instance is one routing problem: the die, the sinks (module locations and
@@ -242,13 +254,17 @@ func (in *Instance) Validate(opts Options) error {
 // finite reports whether v is a finite float (not NaN, not ±Inf).
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// Stats reports how the construction went.
+// Stats reports how the construction went. On a Downgraded run the
+// counters and phase timings cover both attempts — the failed fast-path
+// construction and the reference re-route — so the wasted work stays
+// visible; Merges and Snakes describe only the delivered tree.
 type Stats struct {
 	Merges    int // number of bottom-up merges (N−1)
 	Snakes    int // merges that required wire elongation
 	PairEvals int // candidate pair cost evaluations (full merges solved)
 	// PairEvalsSkipped counts candidates discarded because their geometric
-	// lower bound already exceeded the running best — no merge solved.
+	// lower bound already exceeded the running best — no merge solved and
+	// no memo consulted.
 	PairEvalsSkipped int
 	// PairEvalsCached counts candidate lookups served from the pair-cost
 	// memo instead of being re-evaluated.
@@ -267,14 +283,30 @@ type Stats struct {
 	DowngradeReason string
 }
 
-// CacheHitRate returns the fraction of candidate cost lookups answered by
-// the pair-cost memo.
+// CacheHitRate returns the fraction of full-cost demands answered by the
+// pair-cost memo: Cached / (Cached + Evals). Candidates pruned by the
+// geometric lower bound (PairEvalsSkipped) never demand a memoizable merge
+// solve, so they do not belong in the denominator — counting them there
+// underreported the hit rate.
 func (s Stats) CacheHitRate() float64 {
-	total := s.PairEvals + s.PairEvalsSkipped + s.PairEvalsCached
+	total := s.PairEvals + s.PairEvalsCached
 	if total == 0 {
 		return 0
 	}
 	return float64(s.PairEvalsCached) / float64(total)
+}
+
+// addAttempt folds the accounting of an earlier, failed construction
+// attempt into s: work counters and phase timings are summed so a
+// downgraded run reports the wasted work, while Merges/Snakes (properties
+// of the delivered tree) keep s's own values.
+func (s *Stats) addAttempt(failed Stats) {
+	s.PairEvals += failed.PairEvals
+	s.PairEvalsSkipped += failed.PairEvalsSkipped
+	s.PairEvalsCached += failed.PairEvalsCached
+	s.PhaseInit += failed.PhaseInit
+	s.PhaseGreedy += failed.PhaseGreedy
+	s.PhaseEmbed += failed.PhaseEmbed
 }
 
 // Route constructs a zero-skew clock tree for the instance.
@@ -297,7 +329,10 @@ func RouteContext(ctx context.Context, in *Instance, opts Options) (*topology.Tr
 	}
 	// The fast path failed an invariant. Its state is independent of the
 	// reference greedy's, so re-route through the retained oracle and
-	// record the downgrade.
+	// record the downgrade. The failed attempt's Stats (phase timings,
+	// pair-eval counters) are folded into the re-route's so the wasted
+	// work stays accounted.
+	failed := stats
 	ref := opts
 	ref.Reference = true
 	ref.FaultInject = nil
@@ -305,8 +340,12 @@ func RouteContext(ctx context.Context, in *Instance, opts Options) (*topology.Tr
 	if err2 != nil {
 		return nil, Stats{}, err2
 	}
+	stats.addAttempt(failed)
 	stats.Downgraded = true
 	stats.DowngradeReason = err.Error()
+	if inst := newCoreInstruments(opts.Metrics); inst != nil {
+		inst.downgrades.Inc()
+	}
 	return tree, stats, nil
 }
 
@@ -318,9 +357,12 @@ func usesFastPath(m Method) bool {
 }
 
 // routeOnce runs one construction attempt end to end: build, embed,
-// validate, optionally verify.
+// validate, optionally verify. On failure the returned Stats still carry
+// the attempt's counters and phase timings, so callers (the fallback path
+// in RouteContext) can account the wasted work.
 func routeOnce(ctx context.Context, in *Instance, opts Options) (*topology.Tree, Stats, error) {
-	r := &router{in: in, opts: opts, ctx: ctx}
+	r := &router{in: in, opts: opts, ctx: ctx,
+		tracer: opts.Tracer, inst: newCoreInstruments(opts.Metrics)}
 	side := in.Die.W()
 	if in.Die.H() > side {
 		side = in.Die.H()
@@ -354,17 +396,18 @@ func routeOnce(ctx context.Context, in *Instance, opts Options) (*topology.Tree,
 		r.workers = runtime.GOMAXPROCS(0)
 	}
 	tree, err := r.run()
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	if opts.Verify {
-		if err := verify.Tree(tree, opts.Tech, opts.SkewBoundPs); err != nil {
-			return nil, Stats{}, err
-		}
-	}
+	// Load the counters before the error checks: a failed attempt's work
+	// must stay visible to the fallback's merged accounting.
 	r.stats.PairEvals = int(r.pairEvals.Load())
 	r.stats.PairEvalsSkipped = int(r.pairSkipped.Load())
 	r.stats.PairEvalsCached = int(r.pairCached.Load())
+	if err == nil && opts.Verify {
+		err = verify.Tree(tree, opts.Tech, opts.SkewBoundPs)
+	}
+	r.flushInstruments(r.stats)
+	if err != nil {
+		return nil, r.stats, err
+	}
 	return tree, r.stats, nil
 }
 
@@ -384,6 +427,12 @@ type router struct {
 	pairEvals   atomic.Int64
 	pairSkipped atomic.Int64
 	pairCached  atomic.Int64
+
+	// Observability taps (obs.go); all nil/zero when disabled.
+	tracer obs.Tracer
+	inst   *coreInstruments
+	// Counter values at the previous traced merge, for per-merge deltas.
+	lastEvals, lastCached, lastSkipped int64
 }
 
 // checkCtx is the cancellation checkpoint, called at every merge and at
@@ -475,10 +524,14 @@ func (r *router) run() (*topology.Tree, error) {
 	default:
 		root, err = r.runGreedyProtected()
 	}
+	// Record the greedy phase even when the construction failed, so a
+	// downgraded run's merged Stats include the aborted attempt's time.
+	r.stats.PhaseGreedy = time.Since(buildStart) - r.stats.PhaseInit
+	r.observePhase("init", buildStart, r.stats.PhaseInit)
+	r.observePhase("greedy", buildStart.Add(r.stats.PhaseInit), r.stats.PhaseGreedy)
 	if err != nil {
 		return nil, err
 	}
-	r.stats.PhaseGreedy = time.Since(buildStart) - r.stats.PhaseInit
 	embedStart := time.Now()
 	r.finishRoot(root)
 	tree := &topology.Tree{Root: root, Source: r.source}
@@ -487,6 +540,7 @@ func (r *router) run() (*topology.Tree, error) {
 		return nil, err
 	}
 	r.stats.PhaseEmbed = time.Since(embedStart)
+	r.observePhase("embed", embedStart, r.stats.PhaseEmbed)
 	return tree, nil
 }
 
@@ -625,11 +679,18 @@ func (r *router) runGreedyReference() (*topology.Node, error) {
 	for len(active) > 1 {
 		a := r.cheapest(active, best)
 		b := best[a].partner
+		cost := best[a].cost
+		var t0 time.Time
+		snakesBefore := r.stats.Snakes
+		if r.obsEnabled() {
+			t0 = time.Now()
+		}
 		k, err := r.merge(a, b)
 		if err != nil {
 			return nil, err
 		}
 		r.stats.Merges++
+		r.observeMerge(t0, a, b, k, cost, r.stats.Snakes > snakesBefore, -1)
 
 		// Replace a, b with k in the active set.
 		out := active[:0]

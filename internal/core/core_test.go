@@ -18,7 +18,7 @@ import (
 
 // makeInstance builds a small random instance with a matching activity
 // profile.
-func makeInstance(t *testing.T, n int, seed uint64) *Instance {
+func makeInstance(t testing.TB, n int, seed uint64) *Instance {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(seed, 99))
 	in := &Instance{Die: geom.Rect{X0: 0, Y0: 0, X1: 4000, Y1: 4000}}

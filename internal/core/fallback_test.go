@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/verify"
 )
@@ -98,6 +99,70 @@ func TestFallbackGolden(t *testing.T) {
 				requireIdenticalTrees(t, plan.Mode.String(), refTree, tree)
 			}
 		})
+	}
+}
+
+// TestFallbackStatsMergeAttempts (regression): the fallback re-route used
+// to discard the failed fast-path attempt's Stats, so a Downgraded run
+// reported only the reference greedy's work — the wasted fast-path pair
+// evaluations, memo hits and phase timings vanished. The merged Stats must
+// now cover both attempts.
+func TestFallbackStatsMergeAttempts(t *testing.T) {
+	in := makeInstance(t, 96, 41)
+	base := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree}
+
+	// Baselines: a pure reference run (what the old code reported after a
+	// downgrade) and a clean fast run (the wasted attempt's shape).
+	refOpts := base
+	refOpts.Reference = true
+	_, refStats, err := Route(in, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.PairEvalsCached != 0 {
+		t.Fatal("reference run consults the memo — baseline assumption broken")
+	}
+
+	// Panic late in the merge loop so the fast path does substantial work
+	// before the fallback kicks in.
+	reg := obs.NewRegistry()
+	fi := faultinject.New(faultinject.Plan{Mode: faultinject.PanicMergeLoop, Nth: 90})
+	opts := base
+	opts.FaultInject = fi
+	opts.FallbackOnError = true
+	opts.Metrics = reg
+	_, stats, err := Route(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.Fired() {
+		t.Fatal("fault never fired")
+	}
+	if !stats.Downgraded {
+		t.Fatal("run not downgraded")
+	}
+	// The reference re-route never touches the memo, so every cached
+	// lookup in the merged Stats is the failed fast attempt's work.
+	if stats.PairEvalsCached == 0 {
+		t.Error("failed fast-path attempt's memo hits were discarded from Stats")
+	}
+	// Total evaluations must exceed a pure reference run: the delivered
+	// tree cost refStats.PairEvals, and the aborted attempt comes on top.
+	if stats.PairEvals <= refStats.PairEvals {
+		t.Errorf("downgraded run reports %d pair evals, reference alone is %d — wasted work hidden",
+			stats.PairEvals, refStats.PairEvals)
+	}
+	if stats.PhaseInit <= 0 || stats.PhaseGreedy <= 0 {
+		t.Errorf("phase timings missing from merged stats: %+v", stats)
+	}
+	// Merges/Snakes describe the delivered tree only.
+	if stats.Merges != refStats.Merges {
+		t.Errorf("merged stats report %d merges, want the delivered tree's %d",
+			stats.Merges, refStats.Merges)
+	}
+	// The downgrade is visible on the metrics registry.
+	if got := reg.Snapshot()[MetricDowngrades].Value; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDowngrades, got)
 	}
 }
 

@@ -368,12 +368,19 @@ func (r *router) runGreedy() (*topology.Node, error) {
 			return nil, err
 		}
 		b := g.best[a.ID].partner
+		cost := g.best[a.ID].cost
+		var t0 time.Time
+		snakesBefore := r.stats.Snakes
+		if r.obsEnabled() {
+			t0 = time.Now()
+		}
 		k, err := r.merge(a, b)
 		if err != nil {
 			return nil, err
 		}
 		k.P = g.fi.MergedP(k.P)
 		r.stats.Merges++
+		r.observeMerge(t0, a, b, k, cost, r.stats.Snakes > snakesBefore, len(g.heap))
 
 		out := active[:0]
 		for _, n := range active {

@@ -92,6 +92,18 @@ func TestFastPathStats(t *testing.T) {
 	if hr := s.CacheHitRate(); hr <= 0 || hr >= 1 {
 		t.Errorf("cache hit rate %v outside (0,1)", hr)
 	}
+	// Regression: the rate is Cached/(Cached+Evals). Pruned candidates
+	// never demand a memoizable merge solve, so PairEvalsSkipped must not
+	// deflate the denominator.
+	if got, want := s.CacheHitRate(),
+		float64(s.PairEvalsCached)/float64(s.PairEvalsCached+s.PairEvals); got != want {
+		t.Errorf("cache hit rate %v, want Cached/(Cached+Evals) = %v", got, want)
+	}
+	if wrong := float64(s.PairEvalsCached) /
+		float64(s.PairEvalsCached+s.PairEvals+s.PairEvalsSkipped); s.CacheHitRate() <= wrong {
+		t.Errorf("hit rate %v not above the skip-deflated ratio %v — denominator regressed",
+			s.CacheHitRate(), wrong)
+	}
 	if s.PhaseInit <= 0 || s.PhaseGreedy <= 0 || s.PhaseEmbed <= 0 {
 		t.Errorf("phase timings not recorded: %+v", s)
 	}

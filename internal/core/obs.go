@@ -1,0 +1,137 @@
+// Observability hooks of the router: per-merge and per-phase spans for
+// Options.Tracer and the core instrument set for Options.Metrics. Both are
+// read-only taps — they never feed back into the construction, so traced
+// and metered runs stay bit-identical to silent ones (golden-tested).
+//
+// The disabled path (nil tracer, nil registry — the default) is one branch
+// per merge and performs no allocations and no atomic writes beyond the
+// counters Stats already keeps; TestObsDisabledZeroAllocs and
+// BenchmarkRouteObs guard that.
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// Core instrument names, as they appear in -metrics dumps and on
+// /debug/vars. Exported so tests and the CLI reference one spelling.
+const (
+	MetricMerges       = "core_merges_total"
+	MetricSnakes       = "core_snakes_total"
+	MetricPairEvals    = "core_pair_evals_total"
+	MetricPairCached   = "core_pair_evals_cached_total"
+	MetricPairSkipped  = "core_pair_evals_skipped_total"
+	MetricDowngrades   = "core_downgrades_total"
+	MetricMergeCost    = "core_merge_cost_ff"
+	MetricHeapLen      = "core_heap_len"
+	MetricHeapLenMax   = "core_heap_len_max"
+	MetricPhaseInitNs  = "core_phase_init_ns"
+	MetricPhaseGreedNs = "core_phase_greedy_ns"
+	MetricPhaseEmbedNs = "core_phase_embed_ns"
+)
+
+// coreInstruments caches the registry lookups for one routing run so the
+// merge loop updates instruments with plain atomic ops, never touching the
+// registry lock.
+type coreInstruments struct {
+	merges, snakes       *obs.Counter
+	evals, cached        *obs.Counter
+	skipped, downgrades  *obs.Counter
+	mergeCost            *obs.Histogram
+	heapLen, heapLenMax  *obs.Gauge
+	phaseInit, phaseGrdy *obs.Gauge
+	phaseEmbed           *obs.Gauge
+}
+
+// newCoreInstruments registers (or finds) the core instruments on reg.
+func newCoreInstruments(reg *obs.Registry) *coreInstruments {
+	if reg == nil {
+		return nil
+	}
+	return &coreInstruments{
+		merges:     reg.Counter(MetricMerges, "bottom-up zero-skew merges performed"),
+		snakes:     reg.Counter(MetricSnakes, "merges that required wire elongation (snaking)"),
+		evals:      reg.Counter(MetricPairEvals, "candidate pair costs fully evaluated (merges solved)"),
+		cached:     reg.Counter(MetricPairCached, "candidate lookups served from the pair-cost memo"),
+		skipped:    reg.Counter(MetricPairSkipped, "candidates discarded by the admissible lower bound"),
+		downgrades: reg.Counter(MetricDowngrades, "fast-path failures recovered via the reference greedy"),
+		mergeCost: reg.Histogram(MetricMergeCost, "Equation-3 switched-capacitance cost of selected merges (fF)",
+			obs.ExpBuckets(1, 2, 24)),
+		heapLen:    reg.Gauge(MetricHeapLen, "lazy-deletion pair-heap length after the latest merge"),
+		heapLenMax: reg.Gauge(MetricHeapLenMax, "maximum pair-heap length seen"),
+		phaseInit:  reg.Gauge(MetricPhaseInitNs, "wall time of the initial all-pairs scan (ns)"),
+		phaseGrdy:  reg.Gauge(MetricPhaseGreedNs, "wall time of the greedy merge loop (ns)"),
+		phaseEmbed: reg.Gauge(MetricPhaseEmbedNs, "wall time of embedding and validation (ns)"),
+	}
+}
+
+// obsEnabled reports whether any observability sink is attached; the merge
+// loops consult it before capturing timestamps.
+func (r *router) obsEnabled() bool { return r.tracer != nil || r.inst != nil }
+
+// observeMerge is the per-merge observability hook of both greedy loops.
+// start is the zero time when the caller skipped the timestamp (disabled
+// path); heapDepth is −1 on the reference path, which has no heap. The
+// early return keeps the disabled path free of allocations and atomics.
+func (r *router) observeMerge(start time.Time, a, b, k *topology.Node, cost float64, snaked bool, heapDepth int) {
+	if r.tracer == nil && r.inst == nil {
+		return
+	}
+	if r.inst != nil {
+		r.inst.mergeCost.Observe(cost)
+		if heapDepth >= 0 {
+			r.inst.heapLen.Set(int64(heapDepth))
+			r.inst.heapLenMax.SetMax(int64(heapDepth))
+		}
+	}
+	if r.tracer == nil {
+		return
+	}
+	evals := r.pairEvals.Load()
+	cached := r.pairCached.Load()
+	skipped := r.pairSkipped.Load()
+	r.tracer.Span(obs.Span{
+		Kind:      obs.SpanMerge,
+		Start:     start,
+		Dur:       time.Since(start),
+		Merge:     r.stats.Merges,
+		A:         a.ID,
+		B:         b.ID,
+		K:         k.ID,
+		Cost:      cost,
+		Snaked:    snaked,
+		Evals:     evals - r.lastEvals,
+		Cached:    cached - r.lastCached,
+		Skipped:   skipped - r.lastSkipped,
+		HeapDepth: heapDepth,
+	})
+	r.lastEvals, r.lastCached, r.lastSkipped = evals, cached, skipped
+}
+
+// observePhase emits one construction-phase span.
+func (r *router) observePhase(name string, start time.Time, dur time.Duration) {
+	if r.tracer == nil {
+		return
+	}
+	r.tracer.Span(obs.Span{Kind: obs.SpanPhase, Name: name, Start: start, Dur: dur, HeapDepth: -1})
+}
+
+// flushInstruments folds one finished (or failed) construction attempt's
+// Stats into the registry. Called once per routeOnce, so a downgraded run
+// accounts both attempts' work, matching the merged Stats.
+func (r *router) flushInstruments(s Stats) {
+	if r.inst == nil {
+		return
+	}
+	r.inst.merges.Add(int64(s.Merges))
+	r.inst.snakes.Add(int64(s.Snakes))
+	r.inst.evals.Add(int64(s.PairEvals))
+	r.inst.cached.Add(int64(s.PairEvalsCached))
+	r.inst.skipped.Add(int64(s.PairEvalsSkipped))
+	r.inst.phaseInit.Set(s.PhaseInit.Nanoseconds())
+	r.inst.phaseGrdy.Set(s.PhaseGreedy.Nanoseconds())
+	r.inst.phaseEmbed.Set(s.PhaseEmbed.Nanoseconds())
+}

@@ -1,0 +1,41 @@
+package ctrl
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Metric names this package registers on the process-wide obs.Default()
+// registry. Controllers are built once per run, so the instruments are
+// incremented at construction only — never inside StarDist/Assign, which
+// sit on the power evaluator's per-gate path.
+const (
+	MetricControllersBuilt = "ctrl_controllers_built_total"
+	MetricPartitions       = "ctrl_partitions"
+)
+
+var (
+	instOnce sync.Once
+	inst     struct {
+		built      *obs.Counter
+		partitions *obs.Gauge
+	}
+)
+
+// instruments lazily registers the package instruments so that importing
+// ctrl has no side effect on the default registry until a controller is
+// built.
+func instruments() *struct {
+	built      *obs.Counter
+	partitions *obs.Gauge
+} {
+	instOnce.Do(func() {
+		reg := obs.Default()
+		inst.built = reg.Counter(MetricControllersBuilt,
+			"Controller configurations constructed.")
+		inst.partitions = reg.Gauge(MetricPartitions,
+			"High-water mark of partitions (k) in a built controller.")
+	})
+	return &inst
+}

@@ -1,0 +1,27 @@
+package ctrl
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// TestInstrumentsRegistered: building controllers must surface on the
+// process-wide default registry — one counter bump per build and the
+// partition high-water mark.
+func TestInstrumentsRegistered(t *testing.T) {
+	die := geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}
+	before := obs.Default().Snapshot()[MetricControllersBuilt].Value
+	Centralized(die)
+	if _, err := Distributed(die, 4); err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Default().Snapshot()
+	if got := snap[MetricControllersBuilt].Value - before; got != 2 {
+		t.Errorf("%s advanced by %d, want 2", MetricControllersBuilt, got)
+	}
+	if got := snap[MetricPartitions].Value; got < 4 {
+		t.Errorf("%s = %d, want >= 4", MetricPartitions, got)
+	}
+}

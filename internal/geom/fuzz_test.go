@@ -42,10 +42,10 @@ func FuzzArc(f *testing.F) {
 // the two distance constraints (within the collapse tolerance); and
 // feasible merges — la+lb covering the separation — must never be refused.
 func FuzzMergeRegion(f *testing.F) {
-	f.Add(0.0, 0.0, 10.0, 0.0, 6.0, 4.0)  // exact abutment: arc
-	f.Add(0.0, 0.0, 10.0, 0.0, 8.0, 8.0)  // overlap: fat TRR
-	f.Add(0.0, 0.0, 10.0, 0.0, 2.0, 2.0)  // disjoint: refused
-	f.Add(3.0, 4.0, 3.0, 4.0, 0.0, 0.0)   // same point, zero lengths
+	f.Add(0.0, 0.0, 10.0, 0.0, 6.0, 4.0) // exact abutment: arc
+	f.Add(0.0, 0.0, 10.0, 0.0, 8.0, 8.0) // overlap: fat TRR
+	f.Add(0.0, 0.0, 10.0, 0.0, 2.0, 2.0) // disjoint: refused
+	f.Add(3.0, 4.0, 3.0, 4.0, 0.0, 0.0)  // same point, zero lengths
 	f.Add(0.0, 0.0, 1.0, 1.0, math.NaN(), 1.0)
 	f.Add(0.0, 0.0, 1e9, -1e9, 1e9, 1e9)
 

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Manifest is the per-run provenance record the gcr command emits: enough
+// to reproduce the run (inputs, seed, options), audit it (durations,
+// instrument totals) and compare results across machines without shipping
+// the tree itself (the digest is a canonical SHA-256 over every routed
+// quantity, so equal digests mean bit-identical trees).
+type Manifest struct {
+	Tool      string    `json:"tool"`
+	StartedAt time.Time `json:"started_at"`
+
+	// Input identity.
+	Bench string `json:"bench"`          // benchmark name, or the -in path
+	Seed  uint64 `json:"seed,omitempty"` // generator seed (standard benchmarks)
+	Sinks int    `json:"sinks"`
+
+	// The routing configuration, as flag-level strings/values so the
+	// manifest stays stable across internal refactors.
+	Options map[string]any `json:"options"`
+
+	// Wall time per construction phase plus the end-to-end run, in
+	// nanoseconds, keyed "init", "greedy", "embed", "total".
+	DurationsNs map[string]int64 `json:"durations_ns"`
+
+	// Result summary: the tree digest plus the headline evaluated numbers.
+	ResultDigest string         `json:"result_digest"`
+	Result       map[string]any `json:"result"`
+}
+
+// Write emits the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

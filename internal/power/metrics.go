@@ -1,0 +1,40 @@
+package power
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Metric names this package registers on the process-wide obs.Default()
+// registry. Evaluation happens once per routed tree, far off the merge hot
+// path, so the instruments cost two atomic updates per Evaluate call.
+const (
+	MetricEvaluations = "power_evaluations_total"
+	MetricTotalSC     = "power_total_sc_ff"
+)
+
+var (
+	instOnce sync.Once
+	inst     struct {
+		evaluations *obs.Counter
+		totalSC     *obs.Histogram
+	}
+)
+
+// instruments lazily registers the package instruments so that importing
+// power has no side effect on the default registry until Evaluate runs.
+func instruments() *struct {
+	evaluations *obs.Counter
+	totalSC     *obs.Histogram
+} {
+	instOnce.Do(func() {
+		reg := obs.Default()
+		inst.evaluations = reg.Counter(MetricEvaluations,
+			"Completed power.Evaluate calls.")
+		inst.totalSC = reg.Histogram(MetricTotalSC,
+			"Total switched capacitance W = W(T)+W(S) per evaluated tree (fF).",
+			obs.ExpBuckets(16, 2, 24))
+	})
+	return &inst
+}

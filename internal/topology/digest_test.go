@@ -1,0 +1,61 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// digestTree builds a small embedded two-sink tree for digest tests.
+func digestTree() *Tree {
+	a := NewSink(0, 0, geom.Point{X: 0, Y: 0}, 20)
+	b := NewSink(1, 1, geom.Point{X: 10, Y: 0}, 30)
+	root := &Node{ID: 2, SinkIndex: -1, Left: a, Right: b,
+		Loc: geom.Point{X: 5, Y: 0}, Cap: 60, P: 0.5, Ptr: 0.25}
+	a.Parent, b.Parent = root, root
+	a.EdgeLen, b.EdgeLen = 5, 5
+	return &Tree{Root: root, Source: geom.Point{X: 5, Y: 5}}
+}
+
+func TestDigestStableAndSensitive(t *testing.T) {
+	t1 := digestTree()
+	t2 := digestTree()
+	d1 := t1.Digest()
+	if len(d1) != 64 {
+		t.Fatalf("digest length %d, want 64 hex chars", len(d1))
+	}
+	if d1 != t1.Digest() {
+		t.Error("digest not deterministic across calls")
+	}
+	if d1 != t2.Digest() {
+		t.Error("identical trees produced different digests")
+	}
+
+	// Every routed quantity must perturb the digest.
+	mutations := map[string]func(*Tree){
+		"edge length": func(tr *Tree) { tr.Root.Left.EdgeLen += 1e-9 },
+		"location":    func(tr *Tree) { tr.Root.Loc.X += 1e-9 },
+		"activity":    func(tr *Tree) { tr.Root.P += 1e-9 },
+		"source":      func(tr *Tree) { tr.Source.Y += 1e-9 },
+		"driver": func(tr *Tree) {
+			d := tech.Driver{Name: "and2", Cin: 7}
+			tr.Root.Left.SetDriver(&d, true)
+		},
+	}
+	for name, mutate := range mutations {
+		tr := digestTree()
+		mutate(tr)
+		if tr.Digest() == d1 {
+			t.Errorf("%s mutation did not change the digest", name)
+		}
+	}
+
+	// Swapping children changes the shape serialization even though the
+	// node set is identical.
+	swapped := digestTree()
+	swapped.Root.Left, swapped.Root.Right = swapped.Root.Right, swapped.Root.Left
+	if swapped.Digest() == d1 {
+		t.Error("child swap did not change the digest")
+	}
+}

@@ -1,0 +1,44 @@
+package verify
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Metric names this package registers on the process-wide obs.Default()
+// registry. Checks run once per routed tree (or per evaluated report), so
+// the instruments add a couple of atomic increments per call.
+const (
+	MetricTreeChecks   = "verify_tree_checks_total"
+	MetricReportChecks = "verify_report_checks_total"
+	MetricFailures     = "verify_failures_total"
+)
+
+var (
+	instOnce sync.Once
+	inst     struct {
+		treeChecks   *obs.Counter
+		reportChecks *obs.Counter
+		failures     *obs.Counter
+	}
+)
+
+// instruments lazily registers the package instruments so that importing
+// verify has no side effect on the default registry until a check runs.
+func instruments() *struct {
+	treeChecks   *obs.Counter
+	reportChecks *obs.Counter
+	failures     *obs.Counter
+} {
+	instOnce.Do(func() {
+		reg := obs.Default()
+		inst.treeChecks = reg.Counter(MetricTreeChecks,
+			"Completed verify.Tree invariant checks.")
+		inst.reportChecks = reg.Counter(MetricReportChecks,
+			"Completed verify.Report cross-checks.")
+		inst.failures = reg.Counter(MetricFailures,
+			"Verification calls that found a violation.")
+	})
+	return &inst
+}
