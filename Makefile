@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench race fuzz clean
+.PHONY: all build vet lint test test-full bench race fuzz serve loadtest clean
 
 # Default: build everything, lint, and run the fast test suite.
 all: build lint test
@@ -26,17 +26,19 @@ test:
 test-full:
 	$(GO) test ./...
 
-# Router benchmarks with the fast-path counters as custom metrics.
+# Router benchmarks with the fast-path counters as custom metrics, plus the
+# serve-layer load benchmark (requests/sec, p50/p99 at queue depth 64).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkRoute|BenchmarkConstructScaling' -benchmem .
+	$(GO) run ./examples/loadclient -n 400 -c 32 -depth 64 -json BENCH_serve.json
 
 # Race detector over the packages with Workers > 1 parallel scans, the
 # fallback/cancellation paths, the traced/metered route path (concurrent
 # routes sharing one tracer and registry live in ./internal/core and
-# ./internal/obs), the gcr command, and the public API (verifier always on
-# there).
+# ./internal/obs), the concurrent routing service, the gcr command, and the
+# public API (verifier always on there).
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/obs/... ./internal/activity/... ./cmd/gcr/... .
+	$(GO) test -race -short ./internal/core/... ./internal/obs/... ./internal/activity/... ./internal/serve/... ./cmd/gcr/... .
 
 # Short mutation runs over every fuzz target. The checked-in seed corpora
 # (r1-r5 serializations among them) already run as unit cases in `make test`;
@@ -47,7 +49,18 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/stream
 	$(GO) test -run xxx -fuzz FuzzArc -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run xxx -fuzz FuzzMergeRegion -fuzztime $(FUZZTIME) ./internal/geom
+	$(GO) test -run xxx -fuzz FuzzDecodeRouteRequest -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run xxx -fuzz FuzzRoute -fuzztime $(FUZZTIME) .
+
+# Run the routing daemon locally (POST /v1/route, /healthz, /metrics).
+serve:
+	$(GO) run ./cmd/gcrd -addr localhost:8080
+
+# In-process load test: mixed hit/miss/invalid traffic through the full
+# queue -> coalescer -> cache -> worker pipeline, with client tallies
+# cross-checked against the server's serve_* counters.
+loadtest:
+	$(GO) run ./examples/loadclient -n 400 -c 16
 
 clean:
 	$(GO) clean ./...

@@ -82,15 +82,32 @@ func main() {
 }
 
 // usageError marks a command line the tool refuses to act on: missing or
-// contradictory flags, not a failure of the routing itself. main maps it to
-// exit status 2 (the conventional usage-error status).
-type usageError struct{ msg string }
+// contradictory flags, or an output destination that cannot be used — not a
+// failure of the routing itself. main maps it to exit status 2 (the
+// conventional usage-error status). err, when set, preserves the underlying
+// cause (e.g. an *fs.PathError) for errors.Is/As inspection.
+type usageError struct {
+	msg string
+	err error
+}
 
-func (e *usageError) Error() string { return e.msg }
+func (e *usageError) Error() string {
+	if e.err != nil {
+		return e.msg + ": " + e.err.Error()
+	}
+	return e.msg
+}
+
+func (e *usageError) Unwrap() error { return e.err }
 
 // usagef builds a usageError.
 func usagef(format string, args ...any) error {
 	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// usageWrap builds a usageError that chains cause.
+func usageWrap(cause error, format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...), err: cause}
 }
 
 // runCfg carries the parsed command line.
@@ -151,6 +168,26 @@ func validate(cfg runCfg) error {
 func run(w io.Writer, cfg runCfg) error {
 	if err := validate(cfg); err != nil {
 		return err
+	}
+	// Create the run's output files before any routing work: an unwritable
+	// -trace or -manifest destination is a usage error (exit 2) surfaced in
+	// milliseconds, not after minutes of routing.
+	var traceFile, manifestFile *os.File
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return usageWrap(err, "-trace %q is not writable", cfg.traceOut)
+		}
+		defer f.Close()
+		traceFile = f
+	}
+	if cfg.manifestOut != "" {
+		f, err := os.Create(cfg.manifestOut)
+		if err != nil {
+			return usageWrap(err, "-manifest %q is not writable", cfg.manifestOut)
+		}
+		defer f.Close()
+		manifestFile = f
 	}
 	startedAt := time.Now()
 	benchName, inFile, mode := cfg.benchName, cfg.inFile, cfg.mode
@@ -223,13 +260,7 @@ func run(w io.Writer, cfg runCfg) error {
 	opts.FallbackOnError = cfg.fallback
 
 	var tr *gatedclock.JSONLTracer
-	var traceFile *os.File
-	if cfg.traceOut != "" {
-		traceFile, err = os.Create(cfg.traceOut)
-		if err != nil {
-			return err
-		}
-		defer traceFile.Close()
+	if traceFile != nil {
 		tr = gatedclock.NewJSONLTracer(traceFile)
 		opts.Tracer = tr
 	}
@@ -337,8 +368,8 @@ func run(w io.Writer, cfg runCfg) error {
 		}
 		fmt.Fprintf(w, "wrote trace to %s (%d merge spans)\n", cfg.traceOut, tr.MergeCount())
 	}
-	if cfg.manifestOut != "" {
-		if err := writeManifest(cfg, b, seed, res, startedAt); err != nil {
+	if manifestFile != nil {
+		if err := writeManifest(manifestFile, cfg, b, seed, res, startedAt); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "wrote run manifest to %s\n", cfg.manifestOut)
@@ -352,8 +383,9 @@ func run(w io.Writer, cfg runCfg) error {
 }
 
 // writeManifest records the run's provenance: inputs, flag-level options,
-// phase durations and the canonical result digest.
-func writeManifest(cfg runCfg, b *gatedclock.Benchmark, seed uint64,
+// phase durations and the canonical result digest. f was created up front,
+// before routing; writeManifest closes it.
+func writeManifest(f *os.File, cfg runCfg, b *gatedclock.Benchmark, seed uint64,
 	res *gatedclock.Result, startedAt time.Time) error {
 	benchLabel := cfg.benchName
 	if benchLabel == "" {
@@ -395,10 +427,6 @@ func writeManifest(cfg runCfg, b *gatedclock.Benchmark, seed uint64,
 			"downgraded":       s.Downgraded,
 			"downgrade_reason": s.DowngradeReason,
 		},
-	}
-	f, err := os.Create(cfg.manifestOut)
-	if err != nil {
-		return err
 	}
 	if err := m.Write(f); err != nil {
 		f.Close()

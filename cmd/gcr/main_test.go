@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,6 +56,46 @@ func TestValidateRejectsContradictoryFlags(t *testing.T) {
 	}
 	if err := validate(ok); err != nil {
 		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestRunRejectsUnwritableOutputs: an output destination that cannot be
+// created is a usage error (exit 2) carrying the underlying cause in its
+// chain, surfaced before any routing work starts.
+func TestRunRejectsUnwritableOutputs(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir", "out.file")
+	for _, tc := range []struct {
+		name   string
+		mutate func(*runCfg)
+	}{
+		{"trace", func(c *runCfg) { c.traceOut = missing }},
+		{"manifest", func(c *runCfg) { c.manifestOut = missing }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// r5 would take seconds to route; the failure must come back
+			// immediately, proving the file is created before routing.
+			cfg := runCfg{benchName: "r5", mode: "gated-red", controllers: 1}
+			tc.mutate(&cfg)
+			start := time.Now()
+			err := run(io.Discard, cfg)
+			if err == nil {
+				t.Fatal("unwritable output accepted")
+			}
+			var ue *usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("error %v is not a usageError", err)
+			}
+			if !errors.Is(err, fs.ErrNotExist) {
+				t.Errorf("error chain %v does not preserve fs.ErrNotExist", err)
+			}
+			var pe *fs.PathError
+			if !errors.As(err, &pe) || pe.Path != missing {
+				t.Errorf("error chain %v does not carry the *fs.PathError for %q", err, missing)
+			}
+			if d := time.Since(start); d > 5*time.Second {
+				t.Errorf("failure took %v — routing ran before the output check", d)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,104 @@
+// Command gcrd is the gated-clock routing daemon: a long-lived HTTP JSON
+// service over the library's zero-skew gated routing, with a fixed worker
+// pool, a bounded admission queue with 429/Retry-After backpressure, a
+// singleflight coalescer for identical in-flight requests, and a
+// digest-keyed LRU result cache.
+//
+// Usage:
+//
+//	gcrd -addr localhost:8080                       # defaults
+//	gcrd -addr :8080 -workers 4 -queue 64 -cache 256
+//	gcrd -addr :8080 -verify                        # verify every cache miss
+//
+//	curl -s localhost:8080/v1/route -d '{"benchmark":"r1"}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: new work is refused with 503 while
+// queued and in-flight routes run to completion (bounded by -grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address (host:port)")
+	workers := flag.Int("workers", 0, "routing worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+	watermark := flag.Int("watermark", 0, "queue depth at which background requests are shed (0 = queue/2)")
+	cacheSize := flag.Int("cache", 128, "LRU result-cache entries")
+	timeout := flag.Duration("timeout", 2*time.Minute, "maximum per-request routing deadline")
+	routeWorkers := flag.Int("route-workers", 1, "per-route scan goroutines (pool gives cross-request parallelism)")
+	verifyMisses := flag.Bool("verify", false, "run the independent checker on every cache miss before caching")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight routes are canceled")
+	flag.Parse()
+
+	if err := run(*addr, serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		ShedWatermark: *watermark,
+		CacheSize:     *cacheSize,
+		MaxTimeout:    *timeout,
+		RouteWorkers:  *routeWorkers,
+		Verify:        *verifyMisses,
+		Metrics:       obs.Default(),
+	}, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "gcrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, grace time.Duration) error {
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return fmt.Errorf("-addr %q is not a host:port address: %w", addr, err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	obs.Default().PublishExpvar("gatedclock")
+
+	srv := serve.New(cfg)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("gcrd: serving on http://%s (POST /v1/route, /healthz, /metrics, /debug/vars)", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("gcrd: %v — draining (budget %v)", got, grace)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	// Drain the routing service first (rejects new work, finishes queued
+	// and in-flight routes), then close the HTTP listener.
+	drainErr := srv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete: %w", drainErr)
+	}
+	log.Printf("gcrd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command loadclient fires a mixed (hit/miss/invalid) request load at an
+// in-process serve.Server and cross-checks the client-side tallies against
+// the server's own serve_* counters — the end-to-end smoke for the daemon
+// pipeline (queue → coalescer → cache → workers), also runnable under
+// -race via the corresponding test in internal/serve.
+//
+// With -json it additionally writes a BENCH_serve.json-style summary
+// (requests/sec, p50/p99 latency at the configured queue depth), which is
+// how `make bench` produces BENCH_serve.json.
+//
+// Usage:
+//
+//	go run ./examples/loadclient -n 400 -c 16
+//	go run ./examples/loadclient -n 400 -c 32 -depth 64 -json BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	n := flag.Int("n", 400, "total requests to send")
+	conc := flag.Int("c", 16, "concurrent clients")
+	workers := flag.Int("workers", 0, "server worker pool (0 = GOMAXPROCS)")
+	depth := flag.Int("depth", 64, "server admission queue depth")
+	jsonOut := flag.String("json", "", "also write a benchmark summary JSON to this file")
+	flag.Parse()
+	if err := run(os.Stdout, *n, *conc, *workers, *depth, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "loadclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, n, conc, workers, depth int, jsonOut string) error {
+	srv := serve.New(serve.Config{Workers: workers, QueueDepth: depth, CacheSize: 64})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// Mix: half identical (cache/coalesce bait), ~40% distinct misses,
+	// ~10% invalid.
+	gen := &serve.LoadGen{
+		Handler:     srv.Handler(),
+		Bodies:      serve.MixedBodies(10, 8, 2),
+		Total:       n,
+		Concurrency: conc,
+	}
+	st, err := gen.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "sent %d requests (%d clients) in %v — %.0f req/s\n",
+		st.Total, conc, st.Elapsed.Round(time.Millisecond), st.RequestsPerSec())
+	fmt.Fprintf(w, "  ok %d (cached %d, coalesced %d)   shed %d   bad %d   other %d\n",
+		st.OK, st.Cached, st.Coalesced, st.Shed, st.BadReq, st.Other)
+	fmt.Fprintf(w, "  latency p50 %v  p99 %v\n",
+		st.LatencyQuantile(0.50).Round(time.Microsecond), st.LatencyQuantile(0.99).Round(time.Microsecond))
+
+	// Cross-check the server's counters against the client-side tally.
+	snap := srv.Metrics().Snapshot()
+	counter := func(name string) int64 { return snap[name].Value }
+	checks := []struct {
+		name   string
+		server int64
+		client int64
+	}{
+		{"serve_cache_hits_total", counter("serve_cache_hits_total"), int64(st.Cached)},
+		{"serve_coalesced_total", counter("serve_coalesced_total"), int64(st.Coalesced)},
+		{"serve_shed_total", counter("serve_shed_total"), int64(st.Shed)},
+		{"serve_bad_requests_total", counter("serve_bad_requests_total"), int64(st.BadReq)},
+	}
+	failed := false
+	for _, c := range checks {
+		mark := "ok"
+		if c.server != c.client {
+			mark = "MISMATCH"
+			failed = true
+		}
+		fmt.Fprintf(w, "  %-26s server %5d  client %5d  %s\n", c.name, c.server, c.client, mark)
+	}
+	if len(st.Conflicts) > 0 {
+		failed = true
+		fmt.Fprintf(w, "  TREE DIGEST CONFLICTS: %v\n", st.Conflicts)
+	}
+	if !st.RetryAfterSeen {
+		failed = true
+		fmt.Fprintln(w, "  429 response without Retry-After header")
+	}
+	if failed {
+		return fmt.Errorf("server counters disagree with client tally")
+	}
+	fmt.Fprintln(w, "  all counters consistent, all tree digests bit-identical")
+
+	if jsonOut != "" {
+		if err := writeBenchJSON(jsonOut, srv.Metrics(), st, conc, depth); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote benchmark summary to %s\n", jsonOut)
+	}
+	return nil
+}
+
+// writeBenchJSON emits the serve-layer benchmark record: client-observed
+// throughput and exact latency quantiles, plus the server-side histogram
+// estimates for comparison.
+func writeBenchJSON(path string, reg *obs.Registry, st *serve.LoadStats, conc, depth int) error {
+	snap := reg.Snapshot()
+	rec := map[string]any{
+		"description":      "serve daemon load test: mixed hit/miss/invalid requests through queue → coalescer → cache → workers",
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+		"clients":          conc,
+		"queue_depth":      depth,
+		"requests":         st.Total,
+		"requests_per_sec": st.RequestsPerSec(),
+		"latency_ms": map[string]float64{
+			"p50": float64(st.LatencyQuantile(0.50)) / 1e6,
+			"p99": float64(st.LatencyQuantile(0.99)) / 1e6,
+		},
+		"outcomes": map[string]int{
+			"ok": st.OK, "cached": st.Cached, "coalesced": st.Coalesced,
+			"shed": st.Shed, "bad_request": st.BadReq,
+		},
+		"server_counters": map[string]int64{
+			"serve_cache_hits_total":   snap["serve_cache_hits_total"].Value,
+			"serve_cache_misses_total": snap["serve_cache_misses_total"].Value,
+			"serve_coalesced_total":    snap["serve_coalesced_total"].Value,
+			"serve_shed_total":         snap["serve_shed_total"].Value,
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

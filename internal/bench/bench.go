@@ -101,8 +101,13 @@ type Config struct {
 	StreamLen int // default 5000 ("thousands of instructions")
 }
 
-// withDefaults fills unset fields.
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with every unset field resolved to the
+// value Generate would use, making the result a canonical form: two
+// configs describe the same benchmark exactly when their WithDefaults
+// agree. Request digests (internal/serve) hash the resolved form so a
+// default left implicit and the same value spelled out explicitly key the
+// same cache entry.
+func (c Config) WithDefaults() Config {
 	if c.DieSide == 0 {
 		c.DieSide = math.Round(8000 * math.Sqrt(float64(c.NumSinks)/250))
 	}
@@ -132,7 +137,7 @@ func (c Config) withDefaults() Config {
 // Generate synthesizes a benchmark from the config; identical configs yield
 // identical benchmarks.
 func Generate(cfg Config) (*Benchmark, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	switch {
 	case cfg.NumSinks <= 0:
 		return nil, fmt.Errorf("%w: NumSinks must be positive", ErrInvalid)

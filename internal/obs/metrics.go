@@ -137,6 +137,62 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution from the bucket counts, interpolating linearly inside the
+// bucket containing the quantile rank. The overflow (+Inf) bucket has no
+// upper bound to interpolate toward, so ranks landing there return the
+// last finite bound — an underestimate flagged to the caller only by being
+// exactly that bound. Returns 0 when nothing has been observed. The
+// estimate is what backs the serve daemon's Retry-After hint and the
+// p50/p99 lines of BENCH_serve.json.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no finite upper edge.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExpBuckets returns n exponentially spaced histogram bounds starting at
 // start and growing by factor: start, start·factor, start·factor², …
 func ExpBuckets(start, factor float64, n int) []float64 {

@@ -304,3 +304,49 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i & 1023))
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("q_test", "", []float64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 10 observations uniformly inside (0,10]: the median interpolates to
+	// the middle of the first bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("single-bucket median = %v, want 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("q=1 of first bucket = %v, want its upper bound 10", got)
+	}
+
+	// Add 10 observations in (10,20]: the 0.75 rank now lands mid-second
+	// bucket, and quantiles are monotone in q.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.75); got != 15 {
+		t.Errorf("two-bucket q0.75 = %v, want 15", got)
+	}
+	if h.Quantile(0.25) > h.Quantile(0.5) || h.Quantile(0.5) > h.Quantile(0.9) {
+		t.Error("quantile not monotone in q")
+	}
+
+	// Overflow observations clamp to the last finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 40 {
+		t.Errorf("overflow quantile = %v, want last finite bound 40", got)
+	}
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("q<0 returned %v", got)
+	}
+}

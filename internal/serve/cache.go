@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// RouteResult is the cacheable outcome of one routing execution: the
+// canonical tree digest (bit-identity witness), the full power evaluation
+// with its W(T)/W(S) split, and the construction Stats. The tree itself is
+// deliberately not retained — a cached r5 keeps ~1 KB, not a 6000-node
+// topology.
+type RouteResult struct {
+	TreeDigest string
+	Report     power.Report
+	Stats      core.Stats
+	RouteMs    float64 // wall time of the original construction
+}
+
+// lruCache is a digest-keyed LRU of RouteResults: mutex-guarded map plus
+// intrusive recency list, eviction from the cold end at capacity.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	digest string
+	res    *RouteResult
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// get returns the cached result for digest, refreshing its recency.
+func (c *lruCache) get(digest string) (*RouteResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[digest]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts (or refreshes) digest → res, evicting the least recently
+// used entry when over capacity.
+func (c *lruCache) add(digest string, res *RouteResult) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[digest]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[digest] = c.ll.PushFront(&cacheEntry{digest: digest, res: res})
+	for c.ll.Len() > c.max {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*cacheEntry).digest)
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadGen fires a fixed request list at an in-process handler from
+// Concurrency goroutines and tallies the outcomes — the end-to-end smoke
+// harness behind examples/loadclient and the -race service tests. It
+// drives the handler directly through httptest recorders: no sockets, so
+// it composes with the race detector and stays deterministic under load.
+type LoadGen struct {
+	// Handler is the target (normally Server.Handler()).
+	Handler http.Handler
+	// Bodies are the JSON request bodies, dispatched round-robin across
+	// the workers until Total requests have been sent.
+	Bodies [][]byte
+	// Total is the number of requests to send (0 = len(Bodies)).
+	Total int
+	// Concurrency is the number of parallel clients (0 = 8).
+	Concurrency int
+}
+
+// LoadStats is the client-side tally of one LoadGen run, comparable
+// against the server's serve_* counters.
+type LoadStats struct {
+	Total     int
+	OK        int // 200s
+	Cached    int // 200s with cached=true
+	Coalesced int // 200s with coalesced=true
+	Shed      int // 429s
+	BadReq    int // 400s
+	Other     int // everything else (5xx, 499…)
+
+	// TreeDigests maps request digest → tree digest; a run in which some
+	// execution was not bit-identical to its cache/coalesce siblings
+	// records the conflict in Conflicts instead.
+	TreeDigests map[string]string
+	Conflicts   []string
+
+	// RetryAfterSeen reports that every 429 carried a Retry-After header.
+	RetryAfterSeen bool
+
+	Elapsed   time.Duration
+	latencies []time.Duration // per-request, sorted by Finish
+}
+
+// RequestsPerSec returns the achieved throughput.
+func (st *LoadStats) RequestsPerSec() float64 {
+	if st.Elapsed <= 0 {
+		return 0
+	}
+	return float64(st.Total) / st.Elapsed.Seconds()
+}
+
+// LatencyQuantile returns the exact q-quantile of the per-request
+// latencies (0 ≤ q ≤ 1).
+func (st *LoadStats) LatencyQuantile(q float64) time.Duration {
+	if len(st.latencies) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), st.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// Run sends the configured load and returns the tally.
+func (g *LoadGen) Run() (*LoadStats, error) {
+	if g.Handler == nil || len(g.Bodies) == 0 {
+		return nil, fmt.Errorf("serve: LoadGen needs a handler and at least one body")
+	}
+	total := g.Total
+	if total <= 0 {
+		total = len(g.Bodies)
+	}
+	conc := g.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	st := &LoadStats{Total: total, TreeDigests: map[string]string{}, RetryAfterSeen: true}
+	var mu sync.Mutex
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				body := g.Bodies[i%len(g.Bodies)]
+				t0 := time.Now()
+				req := httptest.NewRequest(http.MethodPost, "/v1/route", strings.NewReader(string(body)))
+				rec := httptest.NewRecorder()
+				g.Handler.ServeHTTP(rec, req)
+				lat := time.Since(t0)
+
+				mu.Lock()
+				st.latencies = append(st.latencies, lat)
+				switch rec.Code {
+				case http.StatusOK:
+					st.OK++
+					var resp RouteResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err == nil {
+						if resp.Cached {
+							st.Cached++
+						}
+						if resp.Coalesced {
+							st.Coalesced++
+						}
+						if prev, ok := st.TreeDigests[resp.Digest]; ok && prev != resp.TreeDigest {
+							st.Conflicts = append(st.Conflicts, fmt.Sprintf(
+								"request %s: tree %s vs %s", resp.Digest[:12], prev[:12], resp.TreeDigest[:12]))
+						} else {
+							st.TreeDigests[resp.Digest] = resp.TreeDigest
+						}
+					}
+				case http.StatusTooManyRequests:
+					st.Shed++
+					if rec.Header().Get("Retry-After") == "" {
+						st.RetryAfterSeen = false
+					}
+				case http.StatusBadRequest:
+					st.BadReq++
+				default:
+					st.Other++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	return st, nil
+}
+
+// MixedBodies builds a standard hit/miss/invalid request mix over tiny
+// synthesized instances: `repeat` copies of one identical request (the
+// cache/coalesce bait), `distinct` unique-seed misses, and `invalid`
+// malformed requests (unknown benchmark name). Instances stay small so a
+// full mixed run completes in well under a second even under -race.
+func MixedBodies(repeat, distinct, invalid int) [][]byte {
+	var out [][]byte
+	hit := []byte(`{"config":{"numSinks":16,"seed":7,"numInstr":6,"streamLen":120},"mode":"gated-red"}`)
+	for i := 0; i < repeat; i++ {
+		out = append(out, hit)
+	}
+	for i := 0; i < distinct; i++ {
+		out = append(out, []byte(fmt.Sprintf(
+			`{"config":{"numSinks":12,"seed":%d,"numInstr":6,"streamLen":100},"mode":"gated-red"}`, 1000+i)))
+	}
+	for i := 0; i < invalid; i++ {
+		out = append(out, []byte(`{"benchmark":"r99"}`))
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"io"
 	"math"
 )
 
@@ -12,14 +13,22 @@ import (
 // assignment, embedded locations, edge lengths, electrical state, activity
 // values, and drivers. Two trees have equal digests exactly when they are
 // bit-identical in all those fields, so the digest is a compact stand-in
-// for the golden tree comparison in run manifests and cross-machine
-// reproducibility checks.
+// for the golden tree comparison in run manifests, the serve result cache
+// and cross-machine reproducibility checks.
 func (t *Tree) Digest() string {
 	h := sha256.New()
+	t.DigestInto(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestInto streams the canonical serialization behind Digest into w,
+// letting callers fold the tree identity into a larger hash (for example a
+// response ETag combining request and result) without re-encoding.
+func (t *Tree) DigestInto(w io.Writer) {
 	var buf [8]byte
 	writeU64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
+		w.Write(buf[:])
 	}
 	writeI := func(v int) { writeU64(uint64(int64(v))) }
 	writeF := func(f float64) { writeU64(math.Float64bits(f)) }
@@ -58,8 +67,7 @@ func (t *Tree) Digest() string {
 			writeF(n.Driver.Rout)
 			writeF(n.Driver.Dint)
 			writeF(n.Driver.Area)
-			h.Write([]byte(n.Driver.Name))
+			io.WriteString(w, n.Driver.Name)
 		}
 	})
-	return hex.EncodeToString(h.Sum(nil))
 }
