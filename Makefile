@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench race fuzz serve loadtest clean
+.PHONY: all build vet lint test test-full bench bench-smoke race fuzz serve loadtest clean
 
 # Default: build everything, lint, and run the fast test suite.
 all: build lint test
@@ -32,6 +32,13 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkRoute|BenchmarkConstructScaling' -benchmem .
 	$(GO) run ./examples/loadclient -n 400 -c 32 -depth 64 -json BENCH_serve.json
 
+# CI smoke: one iteration of the routing benchmarks plus the allocation
+# ceiling at N=1024. Catches gross ns/op and allocs/op regressions without
+# paying for a statistically meaningful benchmark run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkRoute$$|BenchmarkConstructScaling/N=(128|1024)$$' -benchtime 1x -benchmem .
+	$(GO) test -run TestRouteAllocationCeiling .
+
 # Race detector over the packages with Workers > 1 parallel scans, the
 # fallback/cancellation paths, the traced/metered route path (concurrent
 # routes sharing one tracer and registry live in ./internal/core and
@@ -50,6 +57,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzArc -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run xxx -fuzz FuzzMergeRegion -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run xxx -fuzz FuzzDecodeRouteRequest -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run xxx -fuzz FuzzSpatialIndex -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzRoute -fuzztime $(FUZZTIME) .
 
 # Run the routing daemon locally (POST /v1/route, /healthz, /metrics).

@@ -1,0 +1,50 @@
+// Allocation-regression guard for the spatially indexed greedy. The index
+// made routing near-linear in time; this pins it near-linear in memory too.
+// The ceiling is ~50% above the measured steady state (≈13.6k allocs for
+// N=1024 at the time of writing) so ordinary churn passes, while an
+// accidental per-candidate or per-ring allocation — which multiplies by the
+// ~30k pair evaluations — blows through it immediately.
+package gatedclock_test
+
+import (
+	"testing"
+
+	gatedclock "repro"
+)
+
+func TestRouteAllocationCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routes N=1024 several times")
+	}
+	bm, err := gatedclock.GenerateBenchmark(gatedclock.BenchmarkConfig{
+		Name: "allocguard", NumSinks: 1024, Seed: 1, StreamLen: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gatedclock.NewDesign(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers: 1 keeps the count deterministic — goroutine scheduling in the
+	// parallel scan would otherwise jitter per-run allocations.
+	opts := gatedclock.GatedReducedOptions()
+	opts.Workers = 1
+	if _, err := d.Route(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var routeErr error
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := d.Route(opts); err != nil {
+			routeErr = err
+		}
+	})
+	if routeErr != nil {
+		t.Fatal(routeErr)
+	}
+	const ceiling = 20000
+	if avg > ceiling {
+		t.Errorf("Route(N=1024) averaged %.0f allocs, ceiling %d", avg, ceiling)
+	}
+}

@@ -5,6 +5,8 @@
 //
 //	gcr -bench r1 -mode gated-red                # standard benchmark
 //	gcr -in mychip.bench -mode buffered          # benchmark from a file
+//	gcr -sinks 100000 -placement clustered       # synthetic instance
+//	gcr -sinks 4096 -placement ring -seed 7      # seeded synthetic instance
 //	gcr -bench r2 -mode gated -controllers 4     # distributed controllers
 //	gcr -bench r1 -mode gated-red -tree          # also dump the tree layout
 //	gcr -bench r1 -mode gated-red -draw          # ASCII floorplan
@@ -41,6 +43,9 @@ import (
 func main() {
 	benchName := flag.String("bench", "", "standard benchmark name (r1..r5)")
 	inFile := flag.String("in", "", "benchmark file (mutually exclusive with -bench)")
+	sinks := flag.Int("sinks", 0, "synthesize an instance with this many sinks (mutually exclusive with -bench/-in)")
+	placement := flag.String("placement", "uniform", "synthetic sink placement: uniform|clustered|hotspot|ring (with -sinks)")
+	seed := flag.Uint64("seed", 1, "synthesis seed (with -sinks)")
 	mode := flag.String("mode", "gated-red", "clock style: bare|buffered|gated|gated-red")
 	controllers := flag.Int("controllers", 1, "number of distributed gate controllers (power of two)")
 	dumpTree := flag.Bool("tree", false, "print the routed tree layout")
@@ -64,6 +69,7 @@ func main() {
 
 	cfg := runCfg{
 		benchName: *benchName, inFile: *inFile, mode: *mode, controllers: *controllers,
+		sinks: *sinks, placement: *placement, seed: *seed,
 		dumpTree: *dumpTree, drawMap: *drawMap, simulate: *simulate, domains: *domains,
 		stats: *stats, workers: *workers, reference: *reference,
 		verify: *verifyTree, timeout: *timeout, fallback: *fallback,
@@ -113,6 +119,9 @@ func usageWrap(cause error, format string, args ...any) error {
 // runCfg carries the parsed command line.
 type runCfg struct {
 	benchName, inFile, mode string
+	sinks                   int
+	placement               string
+	seed                    uint64
 	controllers, domains    int
 	dumpTree, drawMap       bool
 	simulate                bool
@@ -134,10 +143,26 @@ var validModes = map[string]bool{"bare": true, "buffered": true, "gated": true, 
 // routing work starts. Every error it returns is a usageError.
 func validate(cfg runCfg) error {
 	switch {
-	case cfg.benchName == "" && cfg.inFile == "":
-		return usagef("need -bench or -in")
+	case cfg.benchName == "" && cfg.inFile == "" && cfg.sinks == 0:
+		return usagef("need -bench, -in or -sinks")
 	case cfg.benchName != "" && cfg.inFile != "":
 		return usagef("-bench %q and -in %q are mutually exclusive", cfg.benchName, cfg.inFile)
+	case cfg.sinks != 0 && (cfg.benchName != "" || cfg.inFile != ""):
+		return usagef("-sinks is mutually exclusive with -bench/-in")
+	case cfg.sinks < 0:
+		return usagef("-sinks %d must be positive", cfg.sinks)
+	}
+	if cfg.sinks > 0 {
+		valid := false
+		for _, p := range bench.Placements() {
+			if string(p) == cfg.placement {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return usagef("unknown placement %q (want uniform|clustered|hotspot|ring)", cfg.placement)
+		}
 	}
 	if !validModes[cfg.mode] {
 		return usagef("unknown mode %q (want bare|buffered|gated|gated-red)", cfg.mode)
@@ -218,6 +243,17 @@ func run(w io.Writer, cfg runCfg) error {
 		}
 		defer f.Close()
 		if b, err = bench.Read(f); err != nil {
+			return err
+		}
+	case cfg.sinks > 0:
+		seed = cfg.seed
+		bc := bench.Config{
+			Name:      fmt.Sprintf("synth-%s-%d", cfg.placement, cfg.sinks),
+			NumSinks:  cfg.sinks,
+			Seed:      cfg.seed,
+			Placement: bench.Placement(cfg.placement),
+		}
+		if b, err = bench.Generate(bc); err != nil {
 			return err
 		}
 	default:
@@ -391,6 +427,9 @@ func writeManifest(f *os.File, cfg runCfg, b *gatedclock.Benchmark, seed uint64,
 	if benchLabel == "" {
 		benchLabel = cfg.inFile
 	}
+	if benchLabel == "" && cfg.sinks > 0 {
+		benchLabel = b.Name // synth-<placement>-<N>
+	}
 	s := res.Stats
 	m := &obs.Manifest{
 		Tool:      "gcr",
@@ -457,13 +496,24 @@ func printReport(w io.Writer, b *gatedclock.Benchmark, mode string, res *gatedcl
 
 // printStats renders the construction statistics of the fast greedy: how
 // many candidate pairs were fully evaluated, pruned by the lower bound or
-// served by the memo, and where the wall time went.
+// served by the memo, and where the wall time went.  When the spatial
+// index ran (large instances) its search counters are shown too.
 func printStats(w io.Writer, s gatedclock.Stats) {
 	t := report.New("router statistics", "Counter", "Value")
 	t.AddRow("pair evals (merges solved)", report.I(s.PairEvals))
 	t.AddRow("pair evals skipped (lower bound)", report.I(s.PairEvalsSkipped))
 	t.AddRow("pair lookups cached (memo)", report.I(s.PairEvalsCached))
+	t.AddRow("pair costs stored (memo)", report.I(s.PairMemoStores))
 	t.AddRow("cache hit rate", fmt.Sprintf("%.1f%%", s.CacheHitRate()*100))
+	if s.IndexSearches > 0 {
+		t.AddRow("index searches", report.I(s.IndexSearches))
+		t.AddRow("index candidates emitted", report.I(s.IndexCandidates))
+		t.AddRow("  avg per search", report.F(float64(s.IndexCandidates)/float64(s.IndexSearches), 1))
+		t.AddRow("  p50 / p90 neighborhood", fmt.Sprintf("<=%d / <=%d",
+			neighborhoodQuantile(s, 0.50), neighborhoodQuantile(s, 0.90)))
+		t.AddRow("index ring expansions", report.I(s.IndexRingExpansions))
+		t.AddRow("index rebuilds", report.I(s.IndexRebuilds))
+	}
 	t.AddRow("phase: initial scan", s.PhaseInit.Round(time.Microsecond).String())
 	t.AddRow("phase: greedy merge loop", s.PhaseGreedy.Round(time.Microsecond).String())
 	t.AddRow("phase: embed + validate", s.PhaseEmbed.Round(time.Microsecond).String())
@@ -473,6 +523,27 @@ func printStats(w io.Writer, s gatedclock.Stats) {
 		t.AddRow("downgraded to reference", "no")
 	}
 	t.Fprint(w)
+}
+
+// neighborhoodQuantile reads the log2-bucketed neighborhood histogram and
+// returns the smallest power-of-two bound b such that at least frac of
+// the index searches examined <= b candidates.
+func neighborhoodQuantile(s gatedclock.Stats, frac float64) int {
+	total := 0
+	for _, n := range s.IndexNeighborhood {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	cum := 0
+	for i, n := range s.IndexNeighborhood {
+		cum += n
+		if float64(cum) >= frac*float64(total) {
+			return 1 << i
+		}
+	}
+	return 1 << (len(s.IndexNeighborhood) - 1)
 }
 
 func printTree(w io.Writer, t *gatedclock.Tree) {

@@ -26,8 +26,15 @@ func TestValidateRejectsContradictoryFlags(t *testing.T) {
 		mutate  func(*runCfg)
 		wantErr string
 	}{
-		{"neither bench nor in", func(c *runCfg) { c.benchName = "" }, "need -bench or -in"},
+		{"neither bench nor in", func(c *runCfg) { c.benchName = "" }, "need -bench, -in or -sinks"},
 		{"both bench and in", func(c *runCfg) { c.inFile = "x.bench" }, "mutually exclusive"},
+		{"sinks with bench", func(c *runCfg) { c.sinks = 64 }, "mutually exclusive"},
+		{"negative sinks", func(c *runCfg) { c.benchName = ""; c.sinks = -3 }, "must be positive"},
+		{"unknown placement", func(c *runCfg) {
+			c.benchName = ""
+			c.sinks = 64
+			c.placement = "spiral"
+		}, "unknown placement"},
 		{"unknown mode", func(c *runCfg) { c.mode = "turbo" }, "unknown mode"},
 		{"reference with fallback", func(c *runCfg) { c.reference = true; c.fallback = true }, "contradictory"},
 		{"controllers zero", func(c *runCfg) { c.controllers = 0 }, "power of two"},
@@ -203,6 +210,53 @@ func TestRunObservabilityOutputs(t *testing.T) {
 	}
 	if m.Result["merges"] == nil || m.Result["total_sc_ff"] == nil {
 		t.Errorf("manifest result summary incomplete: %v", m.Result)
+	}
+}
+
+// TestRunSyntheticInstance drives the -sinks/-placement synthesis path for
+// every placement: the run must route to completion, the manifest must
+// carry the synthetic bench label and sink count, and an identical seed
+// must reproduce the identical result digest. The instance is large enough
+// (>= spatialMinSinks) that the spatial index runs, so -stats must print
+// its search counters.
+func TestRunSyntheticInstance(t *testing.T) {
+	const n = 256
+	for _, placement := range []string{"uniform", "clustered", "hotspot", "ring"} {
+		t.Run(placement, func(t *testing.T) {
+			dir := t.TempDir()
+			digest := func(name string) string {
+				p := filepath.Join(dir, name)
+				var out bytes.Buffer
+				cfg := runCfg{
+					sinks: n, placement: placement, seed: 7,
+					mode: "gated-red", controllers: 1,
+					stats: true, manifestOut: p,
+				}
+				if err := run(&out, cfg); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(out.String(), "index searches") {
+					t.Errorf("-stats output for %d sinks lacks the index counters:\n%s", n, out.String())
+				}
+				raw, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var m obs.Manifest
+				if err := json.Unmarshal(raw, &m); err != nil {
+					t.Fatal(err)
+				}
+				want := "synth-" + placement + "-256"
+				if m.Bench != want || m.Sinks != n || m.Seed != 7 {
+					t.Errorf("manifest identity = bench %q sinks %d seed %d, want %q %d 7",
+						m.Bench, m.Sinks, m.Seed, want, n)
+				}
+				return m.ResultDigest
+			}
+			if d1, d2 := digest("a.json"), digest("b.json"); d1 != d2 {
+				t.Errorf("same seed produced different digests: %s vs %s", d1, d2)
+			}
+		})
 	}
 }
 

@@ -86,13 +86,40 @@ func (b *Benchmark) Validate() error {
 // finite reports whether v is a finite float (not NaN, not ±Inf).
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
+// Placement names a synthetic sink-placement style. The non-uniform styles
+// stress the router's spatial index with the degenerate geometries real
+// floorplans produce: dense functional clusters, a congested corner, and a
+// hollow pad-ring die.
+type Placement string
+
+const (
+	// PlaceUniform scatters sinks independently over the whole die — the
+	// classic r1–r5 setting and the default.
+	PlaceUniform Placement = "uniform"
+	// PlaceClustered draws sinks from Gaussian clouds around ~√N/4 cluster
+	// centers, reflecting out-of-die samples back inside.
+	PlaceClustered Placement = "clustered"
+	// PlaceHotspot packs 80 % of the sinks into a corner box of 0.15× the
+	// die side; the rest scatter uniformly.
+	PlaceHotspot Placement = "hotspot"
+	// PlaceRing places sinks in an annulus of radius 0.30–0.45× the die
+	// side around the die center, leaving the middle empty.
+	PlaceRing Placement = "ring"
+)
+
+// Placements lists the supported placement styles in a stable order.
+func Placements() []Placement {
+	return []Placement{PlaceUniform, PlaceClustered, PlaceHotspot, PlaceRing}
+}
+
 // Config parameterizes benchmark synthesis.
 type Config struct {
 	Name      string
 	NumSinks  int
 	Seed      uint64
-	DieSide   float64 // λ; 0 → auto-scaled with √NumSinks
-	MinLoad   float64 // fF; zero pair selects [10, 50]
+	DieSide   float64   // λ; 0 → auto-scaled with √NumSinks
+	Placement Placement // sink placement style; default PlaceUniform
+	MinLoad   float64   // fF; zero pair selects [10, 50]
 	MaxLoad   float64
 	NumInstr  int     // default 16
 	Usage     float64 // fraction of modules per instruction; default 0.40 (Table 4)
@@ -131,6 +158,9 @@ func (c Config) WithDefaults() Config {
 	if c.StreamLen == 0 {
 		c.StreamLen = 5000
 	}
+	if c.Placement == "" {
+		c.Placement = PlaceUniform
+	}
 	return c
 }
 
@@ -150,6 +180,12 @@ func Generate(cfg Config) (*Benchmark, error) {
 	case cfg.StreamLen < 2 || cfg.StreamLen > stream.MaxLen:
 		return nil, fmt.Errorf("%w: stream length %d outside [2, %d]", ErrInvalid, cfg.StreamLen, stream.MaxLen)
 	}
+	switch cfg.Placement {
+	case PlaceUniform, PlaceClustered, PlaceHotspot, PlaceRing:
+	default:
+		return nil, fmt.Errorf("%w: unknown placement %q (have uniform, clustered, hotspot, ring)",
+			ErrInvalid, cfg.Placement)
+	}
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
@@ -159,10 +195,7 @@ func Generate(cfg Config) (*Benchmark, error) {
 		Name: cfg.Name,
 		Die:  geom.Rect{X0: 0, Y0: 0, X1: cfg.DieSide, Y1: cfg.DieSide},
 	}
-	for i := 0; i < cfg.NumSinks; i++ {
-		b.SinkLocs = append(b.SinkLocs, geom.Pt(
-			rng.Float64()*cfg.DieSide, rng.Float64()*cfg.DieSide))
-	}
+	b.SinkLocs = placeSinks(cfg, rng)
 	// Functional blocks of a processor are placed together and activate
 	// together, so module *indices* (which the ISA generator groups into
 	// per-instruction windows) must correspond to spatial clusters: order
@@ -184,6 +217,71 @@ func Generate(cfg Config) (*Benchmark, error) {
 	}
 	b.Stream = cfg.Model.Generate(b.ISA, cfg.StreamLen, rng)
 	return b, nil
+}
+
+// placeSinks draws the sink locations of the configured placement style.
+// PlaceUniform consumes exactly two rng draws per sink in the historical
+// order, keeping the r1–r5 instances (and every pre-existing seed)
+// bit-identical to the uniform-only generator.
+func placeSinks(cfg Config, rng *rand.Rand) []geom.Point {
+	side := cfg.DieSide
+	pts := make([]geom.Point, 0, cfg.NumSinks)
+	switch cfg.Placement {
+	case PlaceClustered:
+		k := int(math.Sqrt(float64(cfg.NumSinks)) / 4)
+		if k < 4 {
+			k = 4
+		}
+		cx := make([]float64, k)
+		cy := make([]float64, k)
+		for i := 0; i < k; i++ {
+			cx[i], cy[i] = rng.Float64()*side, rng.Float64()*side
+		}
+		sigma := side * 0.05
+		for i := 0; i < cfg.NumSinks; i++ {
+			c := rng.IntN(k)
+			pts = append(pts, geom.Pt(
+				reflectInto(cx[c]+rng.NormFloat64()*sigma, side),
+				reflectInto(cy[c]+rng.NormFloat64()*sigma, side)))
+		}
+	case PlaceHotspot:
+		box := side * 0.15
+		for i := 0; i < cfg.NumSinks; i++ {
+			if rng.Float64() < 0.8 {
+				pts = append(pts, geom.Pt(rng.Float64()*box, rng.Float64()*box))
+			} else {
+				pts = append(pts, geom.Pt(rng.Float64()*side, rng.Float64()*side))
+			}
+		}
+	case PlaceRing:
+		rLo, rHi := 0.30*side, 0.45*side
+		for i := 0; i < cfg.NumSinks; i++ {
+			ang := rng.Float64() * 2 * math.Pi
+			rr := rLo + rng.Float64()*(rHi-rLo)
+			pts = append(pts, geom.Pt(
+				side/2+rr*math.Cos(ang), side/2+rr*math.Sin(ang)))
+		}
+	default: // PlaceUniform
+		for i := 0; i < cfg.NumSinks; i++ {
+			pts = append(pts, geom.Pt(rng.Float64()*side, rng.Float64()*side))
+		}
+	}
+	return pts
+}
+
+// reflectInto folds v into [0, lim] by reflecting at the boundaries — the
+// standard way to push a Gaussian tail back inside the die without the
+// boundary pile-up clamping would produce.
+func reflectInto(v, lim float64) float64 {
+	for v < 0 || v > lim {
+		if v < 0 {
+			v = -v
+		}
+		if v > lim {
+			v = 2*lim - v
+		}
+	}
+	return v
 }
 
 // serpentineSort orders points along a boustrophedon sweep: the die is cut

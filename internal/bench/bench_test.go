@@ -87,6 +87,102 @@ func TestGenerateValidation(t *testing.T) {
 	}
 }
 
+// TestPlacements: every placement produces a valid benchmark with all
+// sinks inside the die, is deterministic per seed, actually differs from
+// uniform, and matches its advertised spatial shape.
+func TestPlacements(t *testing.T) {
+	const n = 400
+	got := map[Placement][]geom.Point{}
+	for _, p := range Placements() {
+		t.Run(string(p), func(t *testing.T) {
+			cfg := Config{Name: "p", NumSinks: n, Seed: 11, Placement: p}
+			b, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for i, pt := range b.SinkLocs {
+				if !b.Die.Contains(pt) {
+					t.Fatalf("sink %d at %v outside die %v", i, pt, b.Die)
+				}
+			}
+			again, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range b.SinkLocs {
+				if b.SinkLocs[i] != again.SinkLocs[i] {
+					t.Fatal("same seed must reproduce the placement")
+				}
+			}
+			got[p] = b.SinkLocs
+		})
+	}
+
+	// Empty placement defaults to uniform, bit-for-bit (the r1–r5 golden
+	// compatibility contract), and any other name is rejected.
+	legacy, err := Generate(Config{Name: "p", NumSinks: n, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy.SinkLocs {
+		if legacy.SinkLocs[i] != got[PlaceUniform][i] {
+			t.Fatal("empty placement must reproduce the historical uniform layout")
+		}
+	}
+	if _, err := Generate(Config{Name: "p", NumSinks: 8, Placement: "spiral"}); err == nil {
+		t.Error("unknown placement must fail")
+	}
+
+	side := legacy.Die.X1
+	center := geom.Point{X: side / 2, Y: side / 2}
+	// Hotspot: around 80% of sinks land in the 0.15-side corner box.
+	hot := 0
+	for _, pt := range got[PlaceHotspot] {
+		if pt.X <= 0.15*side && pt.Y <= 0.15*side {
+			hot++
+		}
+	}
+	if frac := float64(hot) / n; frac < 0.7 || frac > 0.9 {
+		t.Errorf("hotspot corner fraction %.2f, want ≈0.8", frac)
+	}
+	// Ring: every sink between 0.30 and 0.45 of the side from the center
+	// in Euclidean distance.
+	for i, pt := range got[PlaceRing] {
+		dx, dy := pt.X-center.X, pt.Y-center.Y
+		r := math.Hypot(dx, dy)
+		if r < 0.30*side-1e-9 || r > 0.45*side+1e-9 {
+			t.Fatalf("ring sink %d at radius %.1f outside [%.1f, %.1f]", i, r, 0.30*side, 0.45*side)
+		}
+	}
+	// Clustered: the mean nearest-neighbor distance must be well below
+	// uniform's — the whole point of the placement is locality.
+	if cl, un := meanNearestDist(got[PlaceClustered]), meanNearestDist(got[PlaceUniform]); cl > 0.8*un {
+		t.Errorf("clustered mean nearest-neighbor %.2f not below uniform %.2f", cl, un)
+	}
+}
+
+// meanNearestDist is the average Manhattan distance from each point to its
+// nearest neighbor (O(n²), test-only).
+func meanNearestDist(pts []geom.Point) float64 {
+	sum := 0.0
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(pts))
+}
+
 func TestStandardBenchmarks(t *testing.T) {
 	wantSinks := map[string]int{"r1": 267, "r2": 598, "r3": 862, "r4": 1903, "r5": 3101}
 	for _, name := range StandardNames() {

@@ -269,6 +269,22 @@ type Stats struct {
 	// PairEvalsCached counts candidate lookups served from the pair-cost
 	// memo instead of being re-evaluated.
 	PairEvalsCached int
+	// PairMemoStores counts pair costs written into the memo — the
+	// memo-eligible misses, and the denominator of CacheHitRate. Pruned
+	// candidates and reference-path evaluations never reach the memo and
+	// are not counted.
+	PairMemoStores int
+
+	// Spatial-index counters (spatial.go); all zero when the run used the
+	// exhaustive scan (tiny instances, ActivityDriven, the reference path).
+	IndexSearches       int // expanding-ring searches (best-partner + fold-in)
+	IndexCandidates     int // candidates emitted by the index across all searches
+	IndexRingExpansions int // ring steps taken beyond each search's home cell
+	IndexRebuilds       int // grid rebuilds after the active set halved
+	// IndexNeighborhood is a histogram of per-search emitted-candidate
+	// counts; bucket i counts searches that examined at most 2^i
+	// candidates (the last bucket is unbounded).
+	IndexNeighborhood [12]int
 
 	// Wall time per construction phase.
 	PhaseInit   time.Duration // initial all-pairs best-partner scan
@@ -283,13 +299,15 @@ type Stats struct {
 	DowngradeReason string
 }
 
-// CacheHitRate returns the fraction of full-cost demands answered by the
-// pair-cost memo: Cached / (Cached + Evals). Candidates pruned by the
-// geometric lower bound (PairEvalsSkipped) never demand a memoizable merge
-// solve, so they do not belong in the denominator — counting them there
-// underreported the hit rate.
+// CacheHitRate returns the fraction of memo-eligible lookups answered by
+// the pair-cost memo: Cached / (Cached + Stores). Candidates pruned by the
+// geometric lower bound never demand a memoizable merge solve, and
+// reference-path evaluations (a downgraded run's second attempt) never
+// consult a memo — neither belongs in the denominator. PairMemoStores
+// counts exactly the lookups that missed and filled the memo, so the rate
+// reflects what the memo was actually asked for.
 func (s Stats) CacheHitRate() float64 {
-	total := s.PairEvals + s.PairEvalsCached
+	total := s.PairMemoStores + s.PairEvalsCached
 	if total == 0 {
 		return 0
 	}
@@ -304,6 +322,14 @@ func (s *Stats) addAttempt(failed Stats) {
 	s.PairEvals += failed.PairEvals
 	s.PairEvalsSkipped += failed.PairEvalsSkipped
 	s.PairEvalsCached += failed.PairEvalsCached
+	s.PairMemoStores += failed.PairMemoStores
+	s.IndexSearches += failed.IndexSearches
+	s.IndexCandidates += failed.IndexCandidates
+	s.IndexRingExpansions += failed.IndexRingExpansions
+	s.IndexRebuilds += failed.IndexRebuilds
+	for i, v := range failed.IndexNeighborhood {
+		s.IndexNeighborhood[i] += v
+	}
 	s.PhaseInit += failed.PhaseInit
 	s.PhaseGreedy += failed.PhaseGreedy
 	s.PhaseEmbed += failed.PhaseEmbed
@@ -401,6 +427,13 @@ func routeOnce(ctx context.Context, in *Instance, opts Options) (*topology.Tree,
 	r.stats.PairEvals = int(r.pairEvals.Load())
 	r.stats.PairEvalsSkipped = int(r.pairSkipped.Load())
 	r.stats.PairEvalsCached = int(r.pairCached.Load())
+	r.stats.PairMemoStores = int(r.memoStores.Load())
+	r.stats.IndexSearches = int(r.idxSearches.Load())
+	r.stats.IndexCandidates = int(r.idxCandidates.Load())
+	r.stats.IndexRingExpansions = int(r.idxRings.Load())
+	for i := range r.idxHist {
+		r.stats.IndexNeighborhood[i] = int(r.idxHist[i].Load())
+	}
 	if err == nil && opts.Verify {
 		err = verify.Tree(tree, opts.Tech, opts.SkewBoundPs)
 	}
@@ -427,6 +460,14 @@ type router struct {
 	pairEvals   atomic.Int64
 	pairSkipped atomic.Int64
 	pairCached  atomic.Int64
+	memoStores  atomic.Int64
+
+	// Spatial-index accounting; updated by the (possibly parallel) ring
+	// searches, loaded into Stats once per attempt.
+	idxSearches   atomic.Int64
+	idxCandidates atomic.Int64
+	idxRings      atomic.Int64
+	idxHist       [len(Stats{}.IndexNeighborhood)]atomic.Int64
 
 	// Observability taps (obs.go); all nil/zero when disabled.
 	tracer obs.Tracer
@@ -849,7 +890,7 @@ func (r *router) sized(d *tech.Driver, load float64) *tech.Driver {
 // subtreeCap estimates the capacitance a driver at the top of the edge
 // feeding n would have to drive.
 func (r *router) subtreeCap(n *topology.Node, estLen float64) float64 {
-	return r.opts.Tech.WireCap(estLen) + n.Cap
+	return r.opts.Tech.WireCapPerLambda*estLen + n.Cap
 }
 
 // gateEdge asks the policy whether the edge feeding n should carry a gate,
@@ -905,8 +946,11 @@ func (r *router) pairCost(a, b *topology.Node) (float64, error) {
 //
 // Buffered edge: (c·l + C_n)·1 plus the always-switching buffer input.
 func (r *router) edgeSC(n *topology.Node, l float64, gated bool, parentP float64) float64 {
-	p := r.opts.Tech
-	wireAndAttach := p.WireCap(l) + n.AttachCap
+	// Params is read through a pointer and its per-λ formulas are spelled
+	// out: the struct is large enough that copying it (or a value-receiver
+	// method call) dominates this hottest of leaves.
+	t := &r.opts.Tech
+	wireAndAttach := t.WireCapPerLambda*l + n.AttachCap
 	if gated {
 		if r.opts.Method == MinClockCapOnly {
 			// The [4] cost model is blind to the enable star.
@@ -914,7 +958,7 @@ func (r *router) edgeSC(n *topology.Node, l float64, gated bool, parentP float64
 		}
 		star := r.controller.StarDist(n.MS.Center())
 		return wireAndAttach*n.P +
-			(p.CtrlWireCap(star)+p.Gate.Cin)*n.Ptr
+			(t.CtrlCapPerLambda*star+t.Gate.Cin)*n.Ptr
 	}
 	domP := parentP
 	if r.opts.Drivers != GatedTree {
@@ -922,7 +966,7 @@ func (r *router) edgeSC(n *topology.Node, l float64, gated bool, parentP float64
 	}
 	sc := wireAndAttach * domP
 	if r.opts.Drivers == BufferedTree {
-		sc += p.Buffer.Cin // buffer input switches with the clock, always on
+		sc += t.Buffer.Cin // buffer input switches with the clock, always on
 	}
 	return sc
 }

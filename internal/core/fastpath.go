@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dme"
@@ -106,8 +107,26 @@ func (h *pairHeap) pop() heapEntry {
 	}
 }
 
+// memoEntry is one memoized pair cost in a compact per-neighborhood row:
+// the partner ID and pairCost(owner, partner). Rows are bounded
+// (memoRowCap) — pairCost is a pure function of two immutable nodes, so
+// evicting an entry can only cost a re-evaluation, never change a value.
+type memoEntry struct {
+	partner int32
+	cost    float64
+}
+
+// memoRowCap bounds a compact memo row. Ring searches rarely emit more
+// candidates than this; when they do, dead entries are compacted out and
+// then the oldest entry is evicted.
+const memoRowCap = 48
+
 // greedyState is the bookkeeping of the fast greedy, indexed by node ID
-// (IDs are dense: 0..n-1 for sinks, then one per merge).
+// (IDs are dense: 0..n-1 for sinks, then one per merge). It runs in one of
+// two modes: the exhaustive mode (idx == nil) scans all active nodes and
+// memoizes into dense per-owner rows, while the indexed mode generates
+// candidates from the spatial grid and memoizes into bounded compact rows,
+// keeping total memory linear in the instance size.
 type greedyState struct {
 	byID  []*topology.Node
 	best  []cand
@@ -116,18 +135,62 @@ type greedyState struct {
 	memo  [][]float64 // memo[owner][partner] = pairCost(owner, partner); NaN = absent
 	heap  pairHeap
 	fi    *faultinject.Injector // nil in production
+
+	// Indexed-mode state; all nil/zero in exhaustive mode.
+	idx       *spatialIndex
+	rows      [][]memoEntry // compact memo rows, replacing memo
+	deps      [][]int32     // deps[p] = IDs whose best partner is p
+	depPos    []int32       // position of id within deps[best[id].partner]
+	maxBestUB float64       // ≥ best[n].cost for every alive n; retightened at rebuilds
+
+	// Flat per-ID views of the immutable node state the indexed path's
+	// candidate filter reads: rotated merging-segment midpoints and radii,
+	// the unconditional zero-length-edge cost floor (fZU — includes the
+	// control-star term when the §4.3 forced-insertion rule pins the edge
+	// to a gate) and the per-λ wire-weight floor. Filled once per node at
+	// indexAdd so the hot filter touches contiguous float64 slices instead
+	// of TRRs and interface calls.
+	fU, fW, fRad []float64
+	fZU, fWf     []float64
+	// Per-arm partner floors of the star modes: fGF is the exact
+	// zero-length cost of a gated edge into the node (attach + control
+	// star), fA its attach capacitance for the ungated arm (charged at
+	// parentP ≥ either side's P). +Inf marks an arm the gating policy
+	// rules out for that node.
+	fGF, fA []float64
+
+	// Gating-policy shape resolved at attachIndex (polMode) plus the
+	// scalars the fZU fill rule needs: the per-λ clock wire capacitance
+	// and the forced-insertion threshold (polReduce only).
+	polMode  int
+	cWire    float64
+	forceCap float64
+
+	// Arena-style recycling: rows and dependent lists of killed nodes are
+	// handed to their successors, and the per-merge scratch slices are
+	// reused across iterations, so steady-state merge work allocates
+	// nothing beyond genuine row growth.
+	freeRows  [][]memoEntry
+	freeDeps  [][]int32
+	staleBuf  []*topology.Node
+	rescanBuf []cand
+
+	// stores counts memo writes — the memo-eligible misses that form the
+	// cache-hit-rate denominator. Owned by the router during routing.
+	stores *atomic.Int64
 }
 
 func newGreedyState(sinks []*topology.Node, fi *faultinject.Injector) *greedyState {
 	capIDs := 2*len(sinks) - 1
 	g := &greedyState{
-		byID:  make([]*topology.Node, capIDs),
-		best:  make([]cand, capIDs),
-		ver:   make([]uint32, capIDs),
-		alive: make([]bool, capIDs),
-		memo:  make([][]float64, capIDs),
-		heap:  make(pairHeap, 0, 4*len(sinks)),
-		fi:    fi,
+		byID:   make([]*topology.Node, capIDs),
+		best:   make([]cand, capIDs),
+		ver:    make([]uint32, capIDs),
+		alive:  make([]bool, capIDs),
+		memo:   make([][]float64, capIDs),
+		heap:   make(pairHeap, 0, 4*len(sinks)),
+		fi:     fi,
+		stores: new(atomic.Int64),
 	}
 	for _, n := range sinks {
 		g.byID[n.ID] = n
@@ -137,18 +200,85 @@ func newGreedyState(sinks []*topology.Node, fi *faultinject.Injector) *greedySta
 }
 
 // setBest records n's cheapest partner and pushes a fresh heap entry;
-// older entries for the node become stale via the version counter.
-// Must be called from the serial sections only.
+// older entries for the node become stale via the version counter. In
+// indexed mode it also maintains the reverse-dependent lists and the
+// fold-in upper bound. Must be called from the serial sections only.
 func (g *greedyState) setBest(id int, c cand) {
+	if g.idx != nil {
+		if old := g.best[id].partner; old != nil && g.alive[old.ID] {
+			g.depRemove(old.ID, int32(id))
+		}
+		if c.partner != nil {
+			g.depAdd(c.partner.ID, int32(id))
+		}
+		if c.cost > g.maxBestUB {
+			g.maxBestUB = c.cost
+		}
+		g.idx.noteBest(int32(id), c.cost)
+	}
 	g.best[id] = c
 	g.ver[id]++
 	g.heap.push(heapEntry{cost: g.fi.HeapCost(c.cost), id: int32(id), ver: g.ver[id]})
 }
 
-// kill retires a merged-away node and releases its memo row.
+// depAdd records that node id's best partner is partnerID.
+func (g *greedyState) depAdd(partnerID int, id int32) {
+	g.depPos[id] = int32(len(g.deps[partnerID]))
+	g.deps[partnerID] = append(g.deps[partnerID], id)
+}
+
+// depRemove unlinks id from partnerID's dependent list by swap-removal.
+func (g *greedyState) depRemove(partnerID int, id int32) {
+	l := g.deps[partnerID]
+	last := int32(len(l)) - 1
+	p := g.depPos[id]
+	moved := l[last]
+	l[p] = moved
+	g.depPos[moved] = p
+	g.deps[partnerID] = l[:last]
+}
+
+// kill retires a merged-away node and releases its memo row (exhaustive
+// mode).
 func (g *greedyState) kill(id int) {
 	g.alive[id] = false
 	g.memo[id] = nil
+}
+
+// killIndexed retires a merged-away node in indexed mode: it leaves the
+// dependent list of its (still live) best partner, leaves the grid, and
+// recycles its memo row and dependent list for future merge nodes.
+func (g *greedyState) killIndexed(id int) {
+	if p := g.best[id].partner; p != nil && g.alive[p.ID] {
+		g.depRemove(p.ID, int32(id))
+	}
+	g.alive[id] = false
+	g.best[id] = cand{}
+	g.idx.remove(int32(id))
+	g.freeRows = append(g.freeRows, g.rows[id][:0])
+	g.rows[id] = nil
+	g.freeDeps = append(g.freeDeps, g.deps[id][:0])
+	g.deps[id] = nil
+}
+
+// assignRow hands node id a recycled (or fresh) compact memo row.
+func (g *greedyState) assignRow(id int) {
+	if n := len(g.freeRows); n > 0 {
+		g.rows[id] = g.freeRows[n-1]
+		g.freeRows = g.freeRows[:n-1]
+		return
+	}
+	g.rows[id] = make([]memoEntry, 0, 16)
+}
+
+// assignDeps hands node id a recycled (or fresh) dependent list.
+func (g *greedyState) assignDeps(id int) {
+	if n := len(g.freeDeps); n > 0 {
+		g.deps[id] = g.freeDeps[n-1]
+		g.freeDeps = g.freeDeps[:n-1]
+		return
+	}
+	g.deps[id] = make([]int32, 0, 8)
 }
 
 // popCheapest returns the live node whose cached pair is globally
@@ -176,6 +306,14 @@ func (g *greedyState) popCheapest() (*topology.Node, error) {
 }
 
 func (g *greedyState) memoGet(owner, partner int) (float64, bool) {
+	if g.idx != nil {
+		for _, e := range g.rows[owner] {
+			if e.partner == int32(partner) {
+				return e.cost, true
+			}
+		}
+		return 0, false
+	}
 	row := g.memo[owner]
 	if partner >= len(row) {
 		return 0, false
@@ -184,10 +322,31 @@ func (g *greedyState) memoGet(owner, partner int) (float64, bool) {
 	return c, c == c // NaN ⇒ absent
 }
 
-// memoSet stores a cost, growing the owner's row geometrically. Rows are
-// only touched by the goroutine that owns the row's node in the current
-// parallel phase, so no locking is needed.
+// memoSet stores a cost. In exhaustive mode the owner's dense row grows
+// geometrically; in indexed mode the bounded compact row compacts dead
+// partners out and then evicts its oldest entry. Rows are only touched by
+// the goroutine that owns the row's node in the current parallel phase, so
+// no locking is needed (alive is read-only during parallel phases).
 func (g *greedyState) memoSet(owner, partner int, cost float64) {
+	g.stores.Add(1)
+	if g.idx != nil {
+		row := g.rows[owner]
+		if len(row) >= memoRowCap {
+			kept := row[:0]
+			for _, e := range row {
+				if g.alive[e.partner] {
+					kept = append(kept, e)
+				}
+			}
+			row = kept
+			if len(row) >= memoRowCap {
+				copy(row, row[1:])
+				row = row[:len(row)-1]
+			}
+		}
+		g.rows[owner] = append(row, memoEntry{partner: int32(partner), cost: cost})
+		return
+	}
 	row := g.memo[owner]
 	if partner >= len(row) {
 		newLen := 2 * len(row)
@@ -247,6 +406,18 @@ func (r *router) pairCostBounded(a, b *topology.Node, threshold float64) (float6
 		if dominated(cheap, threshold) {
 			return cheap, true, nil
 		}
+	}
+	return r.pairCostGated(a, b, threshold)
+}
+
+// pairCostGated is pairCostBounded without the partner-independent first
+// filter: the indexed path runs the tighter flat-array floor (candFloor)
+// before the memo probe, so repeating the looser filter here would be pure
+// overhead. Evaluation path identical to pairCost.
+func (r *router) pairCostGated(a, b *topology.Node, threshold float64) (float64, bool, error) {
+	if r.opts.Method == GreedyDistance || r.opts.Method == ActivityDriven {
+		c, err := r.pairCost(a, b)
+		return c, false, err
 	}
 	parentP := 1.0
 	if p := r.in.Profile; p != nil {
@@ -339,7 +510,9 @@ func (r *router) runGreedyProtected() (root *topology.Node, err error) {
 // runGreedy is the accelerated one-pair-at-a-time schedule. Outputs —
 // topology, embedding, every float — are bit-identical to
 // runGreedyReference; see the package comment at the top of this file for
-// why each layer preserves that.
+// why each layer preserves that. Large instances with a geometric pair
+// cost dispatch to the spatially indexed loop (spatial.go), which keeps
+// the same contract.
 func (r *router) runGreedy() (*topology.Node, error) {
 	initStart := time.Now()
 	active := r.makeSinks()
@@ -347,6 +520,11 @@ func (r *router) runGreedy() (*topology.Node, error) {
 		return active[0], nil
 	}
 	g := newGreedyState(active, r.opts.FaultInject)
+	g.stores = &r.memoStores
+	r.attachIndex(g, active)
+	if g.idx != nil {
+		return r.runGreedyIndexed(g, active, initStart)
+	}
 
 	initial := make([]cand, len(active))
 	if err := r.parallelFor(len(active), func(i int) error {
@@ -484,6 +662,9 @@ func (r *router) runGreedy() (*topology.Node, error) {
 			}
 		}
 		g.setBest(k.ID, ck)
+		if debugBestAudit != nil && len(active) > 1 {
+			debugBestAudit(r, g, r.stats.Merges)
+		}
 	}
 	return active[0], nil
 }

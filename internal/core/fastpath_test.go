@@ -107,6 +107,35 @@ func TestFastPathStats(t *testing.T) {
 	if s.PhaseInit <= 0 || s.PhaseGreedy <= 0 || s.PhaseEmbed <= 0 {
 		t.Errorf("phase timings not recorded: %+v", s)
 	}
+	// 90 sinks is below spatialMinSinks: the exhaustive scan must run and
+	// every index counter must stay zero.
+	if s.IndexSearches != 0 || s.IndexCandidates != 0 || s.IndexRebuilds != 0 {
+		t.Errorf("index counters nonzero on an exhaustive run: %+v", s)
+	}
+
+	// A larger instance goes through the spatial index; its counters must
+	// be populated and the neighborhood histogram must account for every
+	// search exactly once.
+	big := makeInstance(t, 3*spatialMinSinks, 5)
+	_, bs, err := Route(big, Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.IndexSearches == 0 || bs.IndexCandidates == 0 {
+		t.Errorf("indexed run recorded no searches/candidates: %+v", bs)
+	}
+	if bs.IndexCandidates < bs.IndexSearches {
+		t.Errorf("%d candidates over %d searches — counter wiring broken",
+			bs.IndexCandidates, bs.IndexSearches)
+	}
+	histTotal := 0
+	for _, n := range bs.IndexNeighborhood {
+		histTotal += n
+	}
+	if histTotal != bs.IndexSearches {
+		t.Errorf("neighborhood histogram sums to %d, want IndexSearches = %d",
+			histTotal, bs.IndexSearches)
+	}
 
 	ref := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree, Reference: true}
 	_, rs, err := Route(in, ref)

@@ -31,6 +31,13 @@ const (
 	MetricPhaseInitNs  = "core_phase_init_ns"
 	MetricPhaseGreedNs = "core_phase_greedy_ns"
 	MetricPhaseEmbedNs = "core_phase_embed_ns"
+
+	MetricMemoStores  = "core_pair_memo_stores_total"
+	MetricIdxSearches = "core_index_searches_total"
+	MetricIdxCands    = "core_index_candidates_total"
+	MetricIdxRings    = "core_index_ring_expansions_total"
+	MetricIdxRebuilds = "core_index_rebuilds_total"
+	MetricIdxNeighb   = "core_index_neighborhood_size"
 )
 
 // coreInstruments caches the registry lookups for one routing run so the
@@ -40,6 +47,11 @@ type coreInstruments struct {
 	merges, snakes       *obs.Counter
 	evals, cached        *obs.Counter
 	skipped, downgrades  *obs.Counter
+	memoStores           *obs.Counter
+	idxSearches          *obs.Counter
+	idxCands, idxRings   *obs.Counter
+	idxRebuilds          *obs.Counter
+	idxNeighb            *obs.Histogram
 	mergeCost            *obs.Histogram
 	heapLen, heapLenMax  *obs.Gauge
 	phaseInit, phaseGrdy *obs.Gauge
@@ -58,6 +70,15 @@ func newCoreInstruments(reg *obs.Registry) *coreInstruments {
 		cached:     reg.Counter(MetricPairCached, "candidate lookups served from the pair-cost memo"),
 		skipped:    reg.Counter(MetricPairSkipped, "candidates discarded by the admissible lower bound"),
 		downgrades: reg.Counter(MetricDowngrades, "fast-path failures recovered via the reference greedy"),
+		memoStores: reg.Counter(MetricMemoStores, "pair costs written into the memo (memo-eligible misses)"),
+		idxSearches: reg.Counter(MetricIdxSearches,
+			"spatial-index expanding-ring searches (best-partner + fold-in)"),
+		idxCands: reg.Counter(MetricIdxCands, "candidates emitted by the spatial index"),
+		idxRings: reg.Counter(MetricIdxRings, "ring expansions beyond each search's home cell"),
+		idxRebuilds: reg.Counter(MetricIdxRebuilds,
+			"spatial-grid rebuilds after the active set halved"),
+		idxNeighb: reg.Histogram(MetricIdxNeighb,
+			"candidates examined per spatial-index search", obs.ExpBuckets(1, 2, 12)),
 		mergeCost: reg.Histogram(MetricMergeCost, "Equation-3 switched-capacitance cost of selected merges (fF)",
 			obs.ExpBuckets(1, 2, 24)),
 		heapLen:    reg.Gauge(MetricHeapLen, "lazy-deletion pair-heap length after the latest merge"),
@@ -111,6 +132,26 @@ func (r *router) observeMerge(start time.Time, a, b, k *topology.Node, cost floa
 	r.lastEvals, r.lastCached, r.lastSkipped = evals, cached, skipped
 }
 
+// noteSearch folds one finished expanding-ring search into the router's
+// atomic index accounting: examined is the number of candidates the index
+// emitted, rings the expansions beyond the home cell. Histogram bucket i
+// counts searches with examined ≤ 2^i; counters are flushed to the obs
+// registry per attempt, but the neighborhood histogram is observed live —
+// it is a distribution, not a sum. Safe from parallel scans.
+func (r *router) noteSearch(examined, rings int) {
+	r.idxSearches.Add(1)
+	r.idxCandidates.Add(int64(examined))
+	r.idxRings.Add(int64(rings))
+	b := 0
+	for (1<<b) < examined && b < len(r.idxHist)-1 {
+		b++
+	}
+	r.idxHist[b].Add(1)
+	if r.inst != nil {
+		r.inst.idxNeighb.Observe(float64(examined))
+	}
+}
+
 // observePhase emits one construction-phase span.
 func (r *router) observePhase(name string, start time.Time, dur time.Duration) {
 	if r.tracer == nil {
@@ -131,6 +172,11 @@ func (r *router) flushInstruments(s Stats) {
 	r.inst.evals.Add(int64(s.PairEvals))
 	r.inst.cached.Add(int64(s.PairEvalsCached))
 	r.inst.skipped.Add(int64(s.PairEvalsSkipped))
+	r.inst.memoStores.Add(int64(s.PairMemoStores))
+	r.inst.idxSearches.Add(int64(s.IndexSearches))
+	r.inst.idxCands.Add(int64(s.IndexCandidates))
+	r.inst.idxRings.Add(int64(s.IndexRingExpansions))
+	r.inst.idxRebuilds.Add(int64(s.IndexRebuilds))
 	r.inst.phaseInit.Set(s.PhaseInit.Nanoseconds())
 	r.inst.phaseGrdy.Set(s.PhaseGreedy.Nanoseconds())
 	r.inst.phaseEmbed.Set(s.PhaseEmbed.Nanoseconds())

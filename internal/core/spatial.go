@@ -1,0 +1,1338 @@
+// The spatial layer of the fast greedy: a uniform grid over merging-segment
+// midpoints in rotated (u, w) coordinates, where Manhattan TRR distance is
+// the Chebyshev metric, so "all nodes within distance d" is a square of
+// grid cells. Best-partner scans become expanding-ring searches that stop
+// as soon as an admissible distance bound proves every unexamined node
+// strictly worse than the running best — the all-pairs candidate
+// generation of bestPartnerPruned collapses to a bounded neighborhood.
+//
+// Two bound families drive the pruning (both derived in DESIGN.md §11):
+//
+//   - Geometric: midpoint Chebyshev distance minus the two radii lower-
+//     bounds the merging-segment distance, and WireCap is linear, so the
+//     unavoidable joining wire charges at least cWire·d·wfMin.
+//   - Gating-aware: Equation 3 charges a gated edge the control-star term
+//     (c_ctrl·dist(CP, mid) + C_g)·Ptr, which dominates pair costs on
+//     gated trees. Whenever the §4.3 forced-insertion rule is certain to
+//     fire — SubtreeCap ≥ Cap ≥ ForceCap at any merge distance — the edge
+//     is gated under every possible partner and the star term enters the
+//     node's unconditional floor fZU; otherwise fZU falls back to
+//     AttachCap·P, which both gating arms dominate (an ungated edge is
+//     charged at parentP ≥ P). On top of fZU, the star modes bound the
+//     partner side by the minimum over its two gating arms: gated pays the
+//     full star cost fGF plus wire at min(P_q, P_m); ungated pays attach
+//     and wire at parentP ≥ P_q. Either way the distance term carries at
+//     least the query's own activity — stop radii no longer depend on the
+//     laziest node in the index, which is what kept them growing with N.
+//
+// Everything here preserves the bit-identity contract of fastpath.go:
+//
+//   - Every floor is admissible — it never exceeds the true Equation-3
+//     cost of any pair it discards — and searches stop or prune only on
+//     strict dominance (dominated()), so a candidate that could tie the
+//     running best is always examined, and the argmin under the (cost,
+//     then partner ID) total order is independent of enumeration order.
+//     The selected pair — and therefore every output bit — matches the
+//     exhaustive scan and the reference greedy.
+//   - All index mutations (insert, remove, rebuild, floor updates) happen
+//     in the serial sections of the merge loop; parallel phases only read.
+//
+// Methods whose pair cost has no geometric component (ActivityDriven
+// orders merges by signal probability alone) and tiny or fully degenerate
+// instances keep using the exhaustive scan.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/gating"
+	"repro/internal/topology"
+)
+
+// spatialMinSinks is the smallest instance routed through the spatial
+// index. Below it the exhaustive scan wins outright, and — deliberately —
+// the fault-injection suite keeps exercising the dense-memo path.
+var spatialMinSinks = 128
+
+// usesSpatialIndex reports whether the method's pair cost admits the
+// geometric ring bound the index prunes with. ActivityDriven orders merges
+// by the merged signal probability, which no midpoint distance bounds.
+func usesSpatialIndex(m Method) bool {
+	return m == MinSwitchedCap || m == MinClockCapOnly || m == GreedyDistance
+}
+
+// Gating-policy shapes the flat candidate filter distinguishes. The star
+// modes (polAll, polReduce, polOpaque) are the MinSwitchedCap + GatedTree
+// configurations whose gated edges carry the control-star term.
+const (
+	polClassic = iota // lbFloor terms only (MinClockCapOnly, ungated driver modes)
+	polDist           // GreedyDistance: the pair cost is the MS distance itself
+	polAll            // gating.All — every edge gated, star term unconditional
+	polNever          // gating.None — no gates; edges charged at parentP
+	polReduce         // gating.Reduction — §4.3 rules resolved where certain
+	polOpaque         // unknown Policy — minimum over both gating arms
+)
+
+// blockShift sizes the coarse blocks of the fold-in improvement sweep:
+// 2^blockShift × 2^blockShift grid cells share one monotone best-cost
+// maximum, so the sweep rules out whole regions with one comparison.
+const blockShift = 4
+
+// spatialIndex buckets live node IDs into a uniform grid over rotated
+// merging-segment midpoints. Out-of-range points (merge midpoints can
+// drift outside the grid built from an earlier population) are clamped to
+// the boundary cells; clamping both query and stored points is a
+// contraction of the Chebyshev metric, so ring distance bounds only
+// under-estimate true separations — admissible, never wrong.
+type spatialIndex struct {
+	minU, minW float64
+	cell       float64   // cell side in rotated units, > 0
+	cols, rows int       // grid dimensions, ≥ 1
+	cells      [][]int32 // cells[cj*cols+ci] = node IDs bucketed there
+	cellOf     []int32   // cellOf[id] = linear cell index, −1 when absent
+	count      int       // nodes currently indexed
+	builtAt    int       // count at the last (re)build; rebuild at ≤ half
+
+	// Floors for the ring bound, valid for every indexed node. Between
+	// rebuilds they are monotone in the safe direction (radii only grow,
+	// cost floors only shrink), so bounds stay admissible as the
+	// population churns; rebuilds retighten them over the survivors.
+	maxRad float64 // max Chebyshev radius of any indexed merging segment
+	zuMin  float64 // min unconditional zero-length-edge floor fZU over indexed nodes
+	wfMin  float64 // min per-λ wire-weight floor over indexed nodes
+	gfMin  float64 // min full gated-edge zero-length cost fGF (star modes)
+	aMin   float64 // min attach capacitance fA of any possibly-ungated node
+
+	// Per-cell minima of the indexed nodes' floor terms (and the maximum
+	// merging-segment radius), monotone in the safe direction between
+	// rebuilds exactly like the index-wide floors: insertion folds minima
+	// in (radii up), removal leaves them stale-but-safe. They let a scan
+	// discard a whole cell with one comparison when even its cheapest
+	// conceivable occupant is dominated — discounting only the radii of
+	// the cell's own occupants, not the global maximum, so one sprawling
+	// merging segment elsewhere cannot loosen every search's rings.
+	cellZuMin  []float64
+	cellWfMin  []float64
+	cellGFMin  []float64
+	cellAMin   []float64
+	cellMaxRad []float64
+
+	// Per-block (2^blockShift × 2^blockShift cells) aggregates: floor
+	// minima maintained like the per-cell ones, plus live occupant counts
+	// so a block discarded with one comparison still accounts its
+	// candidates in the search statistics.
+	bcols, brows int
+	blockZuMin   []float64
+	blockWfMin   []float64
+	blockGFMin   []float64
+	blockAMin    []float64
+	blockMaxRad  []float64
+	blockCount   []int32
+
+	// Monotone per-cell and per-block maxima of best[n].cost, maintained
+	// by noteBest and retightened at rebuilds. They upper-bound every
+	// alive node's cached best cost, letting searches and the fold-in
+	// improvement sweep skip any region whose distance floor already
+	// matches its best.
+	cellMaxBest  []float64
+	blockMaxBest []float64
+}
+
+// blockOf returns the linear block index of linear cell index c.
+func (x *spatialIndex) blockOf(c int32) int {
+	ci, cj := int(c)%x.cols, int(c)/x.cols
+	return (cj>>blockShift)*x.bcols + ci>>blockShift
+}
+
+// newSpatialGrid sizes a grid for n nodes spanning the given rotated
+// bounding box, aiming for ~2 nodes per cell on a square cell raster. A
+// degenerate (zero-span) box collapses to a single cell.
+func newSpatialGrid(capIDs int, minU, maxU, minW, maxW float64, n int) *spatialIndex {
+	span := math.Max(maxU-minU, maxW-minW)
+	cell := 1.0
+	if span > 0 {
+		target := math.Round(math.Sqrt(float64(n) / 2))
+		if target < 1 {
+			target = 1
+		}
+		cell = span / target
+	}
+	cols := int((maxU-minU)/cell) + 1
+	rows := int((maxW-minW)/cell) + 1
+	side := 1 << blockShift
+	bcols := (cols + side - 1) / side
+	brows := (rows + side - 1) / side
+	x := &spatialIndex{
+		minU: minU, minW: minW, cell: cell, cols: cols, rows: rows,
+		cells:        make([][]int32, cols*rows),
+		cellOf:       make([]int32, capIDs),
+		zuMin:        math.Inf(1),
+		wfMin:        math.Inf(1),
+		gfMin:        math.Inf(1),
+		aMin:         math.Inf(1),
+		cellZuMin:    make([]float64, cols*rows),
+		cellWfMin:    make([]float64, cols*rows),
+		cellGFMin:    make([]float64, cols*rows),
+		cellAMin:     make([]float64, cols*rows),
+		cellMaxRad:   make([]float64, cols*rows),
+		cellMaxBest:  make([]float64, cols*rows),
+		bcols:        bcols,
+		brows:        brows,
+		blockZuMin:   make([]float64, bcols*brows),
+		blockWfMin:   make([]float64, bcols*brows),
+		blockGFMin:   make([]float64, bcols*brows),
+		blockAMin:    make([]float64, bcols*brows),
+		blockMaxRad:  make([]float64, bcols*brows),
+		blockCount:   make([]int32, bcols*brows),
+		blockMaxBest: make([]float64, bcols*brows),
+	}
+	for i := range x.cellOf {
+		x.cellOf[i] = -1
+	}
+	inf := math.Inf(1)
+	for i := range x.cellZuMin {
+		x.cellZuMin[i] = inf
+		x.cellWfMin[i] = inf
+		x.cellGFMin[i] = inf
+		x.cellAMin[i] = inf
+	}
+	for i := range x.blockZuMin {
+		x.blockZuMin[i] = inf
+		x.blockWfMin[i] = inf
+		x.blockGFMin[i] = inf
+		x.blockAMin[i] = inf
+	}
+	return x
+}
+
+// coords returns the grid cell of rotated point (u, w), clamped to the
+// grid.
+func (x *spatialIndex) coords(u, w float64) (ci, cj int) {
+	ci = int((u - x.minU) / x.cell)
+	cj = int((w - x.minW) / x.cell)
+	if ci < 0 {
+		ci = 0
+	} else if ci >= x.cols {
+		ci = x.cols - 1
+	}
+	if cj < 0 {
+		cj = 0
+	} else if cj >= x.rows {
+		cj = x.rows - 1
+	}
+	return ci, cj
+}
+
+func (x *spatialIndex) insert(id int32, u, w float64) {
+	ci, cj := x.coords(u, w)
+	c := cj*x.cols + ci
+	x.cellOf[id] = int32(c)
+	x.cells[c] = append(x.cells[c], id)
+	x.blockCount[(cj>>blockShift)*x.bcols+ci>>blockShift]++
+	x.count++
+}
+
+// remove deletes id from its cell by swap-removal. In-cell order is not
+// part of the contract: searches take an order-independent argmin.
+func (x *spatialIndex) remove(id int32) {
+	c := x.cellOf[id]
+	if c < 0 {
+		return
+	}
+	s := x.cells[c]
+	for i, v := range s {
+		if v == id {
+			s[i] = s[len(s)-1]
+			x.cells[c] = s[:len(s)-1]
+			break
+		}
+	}
+	x.cellOf[id] = -1
+	x.blockCount[x.blockOf(c)]--
+	x.count--
+}
+
+// noteBest folds a freshly cached best cost into the monotone per-cell and
+// per-block maxima. Serial sections only (called from setBest).
+func (x *spatialIndex) noteBest(id int32, cost float64) {
+	c := x.cellOf[id]
+	if c < 0 || cost <= x.cellMaxBest[c] {
+		return
+	}
+	x.cellMaxBest[c] = cost
+	if b := x.blockOf(c); cost > x.blockMaxBest[b] {
+		x.blockMaxBest[b] = cost
+	}
+}
+
+// maxBlockRing returns the largest block-ring radius around block
+// (bi, bj) that still intersects the grid — the exhaustion bound of an
+// expanding block-ring search.
+func (x *spatialIndex) maxBlockRing(bi, bj int) int {
+	return max(max(bi, x.bcols-1-bi), max(bj, x.brows-1-bj))
+}
+
+// visitRing calls fn with the linear index of every cell at Chebyshev grid
+// distance exactly r from (ci, cj), clipped to the grid. Each cell is
+// visited once.
+func (x *spatialIndex) visitRing(ci, cj, r int, fn func(c int)) {
+	if r == 0 {
+		fn(cj*x.cols + ci)
+		return
+	}
+	lo, hi := ci-r, ci+r
+	cl, ch := max(lo, 0), min(hi, x.cols-1)
+	for _, j := range [2]int{cj - r, cj + r} {
+		if j < 0 || j >= x.rows {
+			continue
+		}
+		row := j * x.cols
+		for i := cl; i <= ch; i++ {
+			fn(row + i)
+		}
+	}
+	jl, jh := max(cj-r+1, 0), min(cj+r-1, x.rows-1)
+	for _, i := range [2]int{lo, hi} {
+		if i < 0 || i >= x.cols {
+			continue
+		}
+		for j := jl; j <= jh; j++ {
+			fn(j*x.cols + i)
+		}
+	}
+}
+
+// visitBlockRing calls fn with the block coordinates of every block at
+// Chebyshev block distance exactly r from (bi, bj), clipped to the grid.
+// Each block is visited once.
+func (x *spatialIndex) visitBlockRing(bi, bj, r int, fn func(bi, bj int)) {
+	if r == 0 {
+		fn(bi, bj)
+		return
+	}
+	lo, hi := bi-r, bi+r
+	cl, ch := max(lo, 0), min(hi, x.bcols-1)
+	for _, j := range [2]int{bj - r, bj + r} {
+		if j < 0 || j >= x.brows {
+			continue
+		}
+		for i := cl; i <= ch; i++ {
+			fn(i, j)
+		}
+	}
+	jl, jh := max(bj-r+1, 0), min(bj+r-1, x.brows-1)
+	for _, i := range [2]int{lo, hi} {
+		if i < 0 || i >= x.bcols {
+			continue
+		}
+		for j := jl; j <= jh; j++ {
+			fn(i, j)
+		}
+	}
+}
+
+// ringFloor returns the minimum rotated-frame center distance of any node
+// outside the completed ring r of a search whose query has Chebyshev
+// radius rad, discounted by the largest indexed radius — a lower bound on
+// the merging-segment distance of every unexamined candidate.
+func (x *spatialIndex) ringFloor(r int, rad float64) float64 {
+	d := float64(r)*x.cell - rad - x.maxRad
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ringLBFlat lower-bounds the pair cost of a search's query node (with
+// zero-length floor zSelf and wire weight qWf) against any indexed partner
+// at merging-segment distance ≥ d. GreedyDistance costs are the distance
+// itself; the classic capacitance modes charge the unavoidable joining
+// wire at the index-wide minimum per-λ weight. The star modes take the
+// two-arm minimum over the cheapest conceivable partner: a gated partner
+// edge pays at least the index-wide minimum full gated cost gfMin, while
+// an ungated partner edge is charged at parentP ≥ P(query) — both its
+// attach capacitance and the whole joining wire then carry the query's
+// own activity, which keeps the stop radius of high-activity searches
+// independent of how lazy the laziest node in the index is.
+func (g *greedyState) ringLBFlat(zSelf, qWf, d float64) float64 {
+	idx := g.idx
+	switch {
+	case g.polMode == polDist:
+		return d
+	case g.polMode >= polAll:
+		wf := qWf
+		if idx.wfMin < wf {
+			wf = idx.wfMin
+		}
+		lb := idx.gfMin + g.cWire*d*wf
+		if u := idx.aMin*qWf + g.cWire*d*qWf; u < lb {
+			lb = u
+		}
+		return zSelf + lb
+	default:
+		return zSelf + idx.zuMin + g.cWire*d*idx.wfMin
+	}
+}
+
+// candFloor returns an admissible lower bound on pairCost(q, m) from the
+// flat per-node arrays: the midpoint Chebyshev distance minus the two
+// radii lower-bounds the merging-segment distance (WireCap is linear),
+// the query side contributes its unconditional zero-length floor fZU plus
+// wire at its own weight, and the partner side is the minimum over its
+// two gating arms — gated pays fGF[m] plus wire at min(P_q, P_m), ungated
+// pays AttachCap and wire at parentP ≥ max(P_q, P_m) ≥ P_q. Arms a mode
+// rules out carry +Inf in fGF/fA and drop out of the minimum. Runs before
+// the memo probe — pruning a memoized candidate is harmless, because the
+// bound proves its cached cost loses the argmin anyway. This is the
+// reference form of the filter both search closures inline. Read-only;
+// safe from parallel scans.
+func (g *greedyState) candFloor(q, m int) float64 {
+	du := g.fU[q] - g.fU[m]
+	if du < 0 {
+		du = -du
+	}
+	dw := g.fW[q] - g.fW[m]
+	if dw > du {
+		du = dw
+	} else if -dw > du {
+		du = -dw
+	}
+	dlb := du - g.fRad[q] - g.fRad[m]
+	if dlb < 0 {
+		dlb = 0
+	}
+	qWf := g.fWf[q]
+	switch {
+	case g.polMode == polDist:
+		return dlb
+	case g.polMode >= polAll:
+		wf := qWf
+		if g.fWf[m] < wf {
+			wf = g.fWf[m]
+		}
+		lb := g.fGF[m] + g.cWire*dlb*wf
+		pm := qWf
+		if g.fWf[m] > pm {
+			pm = g.fWf[m]
+		}
+		if u := g.fA[m]*pm + g.cWire*dlb*qWf; u < lb {
+			lb = u
+		}
+		return g.fZU[q] + lb
+	default:
+		wf := qWf
+		if g.fWf[m] < wf {
+			wf = g.fWf[m]
+		}
+		return g.fZU[q] + g.fZU[m] + g.cWire*dlb*wf
+	}
+}
+
+// attachIndex decides whether this instance takes the indexed path and, if
+// so, builds the grid over the initial sinks, resolves the gating-policy
+// mode of the flat candidate filter, and switches the greedy state to
+// per-neighborhood memo rows. Degenerate instances (all sinks at one
+// rotated midpoint) stay on the exhaustive path.
+func (r *router) attachIndex(g *greedyState, sinks []*topology.Node) {
+	if !usesSpatialIndex(r.opts.Method) || len(sinks) < spatialMinSinks {
+		return
+	}
+	minU, maxU := math.Inf(1), math.Inf(-1)
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	for _, n := range sinks {
+		u, w, _ := n.MSKey()
+		minU, maxU = math.Min(minU, u), math.Max(maxU, u)
+		minW, maxW = math.Min(minW, w), math.Max(maxW, w)
+	}
+	if math.Max(maxU-minU, maxW-minW) <= 0 {
+		return
+	}
+	g.cWire = r.opts.Tech.WireCap(1)
+	g.polMode = polClassic
+	switch {
+	case r.opts.Method == GreedyDistance:
+		g.polMode = polDist
+	case r.opts.Method == MinSwitchedCap && r.opts.Drivers == GatedTree:
+		switch p := r.policy.(type) {
+		case gating.All:
+			g.polMode = polAll
+		case gating.None:
+			g.polMode = polNever
+		case gating.Reduction:
+			g.polMode = polReduce
+			g.forceCap = p.ForceCap
+		default:
+			g.polMode = polOpaque
+		}
+	}
+	capIDs := len(g.byID)
+	g.idx = newSpatialGrid(capIDs, minU, maxU, minW, maxW, len(sinks))
+	g.rows = make([][]memoEntry, capIDs)
+	g.deps = make([][]int32, capIDs)
+	g.depPos = make([]int32, capIDs)
+	g.fU = make([]float64, capIDs)
+	g.fW = make([]float64, capIDs)
+	g.fRad = make([]float64, capIDs)
+	g.fZU = make([]float64, capIDs)
+	g.fWf = make([]float64, capIDs)
+	g.fGF = make([]float64, capIDs)
+	g.fA = make([]float64, capIDs)
+	for _, n := range sinks {
+		r.indexAdd(g, n)
+	}
+	g.idx.builtAt = g.idx.count
+}
+
+// indexAdd registers a node with the index: grid insertion, the flat-array
+// views of its immutable floor terms, index-wide floor updates (monotone
+// in the admissible direction) and its pooled memo and reverse-dependent
+// rows. The unconditional zero-length floor fZU is AttachCap·P — what both
+// gating arms dominate — upgraded to the full gated-edge cost including
+// the control star whenever the edge is certainly gated: always under
+// gating.All, and under gating.Reduction when Cap ≥ ForceCap makes the
+// forced-insertion rule fire at any merge distance.
+//
+// The star modes additionally split the node's floor by gating arm. fGF
+// is the exact zero-length cost of a gated edge into the node — Equation 3
+// charges it AttachCap·P plus the control-star term, independent of any
+// partner. fA is its attach capacitance, the ungated arm's zero-length
+// multiplier of parentP. An arm the mode rules out holds +Inf: a
+// certainly-gated edge has no ungated arm (fA), gating.None has no gated
+// one (fGF). Serial sections only.
+func (r *router) indexAdd(g *greedyState, n *topology.Node) {
+	id := n.ID
+	u, w, rad := n.MSKey()
+	g.fU[id], g.fW[id], g.fRad[id] = u, w, rad
+	zero, wf := r.lbFloor(n)
+	g.fZU[id], g.fWf[id] = zero, wf
+	g.fGF[id], g.fA[id] = math.Inf(1), math.Inf(1)
+	if g.polMode >= polAll {
+		if g.polMode != polNever {
+			p := &r.opts.Tech
+			star := r.controller.StarDist(n.MS.Center())
+			g.fGF[id] = n.AttachCap*n.P + (p.CtrlCapPerLambda*star+p.Gate.Cin)*n.Ptr
+		}
+		if g.polMode == polAll || (g.polMode == polReduce && g.forceCap > 0 && n.Cap >= g.forceCap) {
+			g.fZU[id] = g.fGF[id] // certainly gated: the star is unconditional
+		} else {
+			g.fA[id] = n.AttachCap // the ungated arm stays possible
+		}
+	}
+	g.indexEnter(int32(id))
+	g.assignRow(id)
+	g.assignDeps(id)
+}
+
+// indexEnter inserts an already-registered node into the current grid and
+// folds its flat-array terms into the index-wide floors.
+func (g *greedyState) indexEnter(id int32) {
+	idx := g.idx
+	idx.insert(id, g.fU[id], g.fW[id])
+	rad := g.fRad[id]
+	if rad > idx.maxRad {
+		idx.maxRad = rad
+	}
+	if g.fZU[id] < idx.zuMin {
+		idx.zuMin = g.fZU[id]
+	}
+	if g.fWf[id] < idx.wfMin {
+		idx.wfMin = g.fWf[id]
+	}
+	if g.fGF[id] < idx.gfMin {
+		idx.gfMin = g.fGF[id]
+	}
+	if g.fA[id] < idx.aMin {
+		idx.aMin = g.fA[id]
+	}
+	c := idx.cellOf[id]
+	if g.fZU[id] < idx.cellZuMin[c] {
+		idx.cellZuMin[c] = g.fZU[id]
+	}
+	if g.fWf[id] < idx.cellWfMin[c] {
+		idx.cellWfMin[c] = g.fWf[id]
+	}
+	if g.fGF[id] < idx.cellGFMin[c] {
+		idx.cellGFMin[c] = g.fGF[id]
+	}
+	if g.fA[id] < idx.cellAMin[c] {
+		idx.cellAMin[c] = g.fA[id]
+	}
+	if rad > idx.cellMaxRad[c] {
+		idx.cellMaxRad[c] = rad
+	}
+	b := idx.blockOf(c)
+	if g.fZU[id] < idx.blockZuMin[b] {
+		idx.blockZuMin[b] = g.fZU[id]
+	}
+	if g.fWf[id] < idx.blockWfMin[b] {
+		idx.blockWfMin[b] = g.fWf[id]
+	}
+	if g.fGF[id] < idx.blockGFMin[b] {
+		idx.blockGFMin[b] = g.fGF[id]
+	}
+	if g.fA[id] < idx.blockAMin[b] {
+		idx.blockAMin[b] = g.fA[id]
+	}
+	if rad > idx.blockMaxRad[b] {
+		idx.blockMaxRad[b] = rad
+	}
+}
+
+// rebuildIndex rebuilds the grid over the surviving nodes once the
+// population has halved, restoring ~2 nodes per cell and retightening the
+// floors, the best-cost maxima and the maxBestUB fold-in bound that
+// loosened monotonically since the last build. Triggered O(log n) times.
+func (r *router) rebuildIndex(g *greedyState) {
+	minU, maxU := math.Inf(1), math.Inf(-1)
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	survivors := 0
+	for id, ok := range g.alive {
+		if !ok {
+			continue
+		}
+		survivors++
+		minU, maxU = math.Min(minU, g.fU[id]), math.Max(maxU, g.fU[id])
+		minW, maxW = math.Min(minW, g.fW[id]), math.Max(maxW, g.fW[id])
+	}
+	g.idx = newSpatialGrid(len(g.byID), minU, maxU, minW, maxW, survivors)
+	g.idx.builtAt = survivors
+	ub := 0.0
+	for id, ok := range g.alive {
+		if !ok {
+			continue
+		}
+		g.indexEnter(int32(id))
+		if c := g.best[id].cost; c > 0 {
+			g.idx.noteBest(int32(id), c)
+			if c > ub {
+				ub = c
+			}
+		}
+	}
+	g.maxBestUB = ub
+	r.stats.IndexRebuilds++
+}
+
+// bestPartnerIndexed is bestPartnerPruned driven by the spatial index: an
+// expanding-ring search that examines candidates cell by cell and stops
+// once the ring floor proves every unexamined node strictly worse than the
+// running best. Candidates inside the rings go through the flat admissible
+// filter, the memo and the gated bound, under the same (cost, then partner
+// ID) argmin as the exhaustive scan; strict-dominance pruning never
+// discards a potential tie, so the returned cand is bit-identical to the
+// exhaustive one. Safe to call concurrently for distinct n; the index is
+// read-only here.
+func (r *router) bestPartnerIndexed(g *greedyState, n *topology.Node) (cand, error) {
+	idx := g.idx
+	q := n.ID
+	rad := g.fRad[q]
+	ci, cj := idx.coords(g.fU[q], g.fW[q])
+	out := cand{}
+	found := false
+	examined, rings := 0, 0
+	var skipped, cached int64
+	var scanErr error
+	// Query-side terms of the candidate floor, hoisted so the hot loop is
+	// pure array arithmetic (candFloor itself is beyond the inliner's
+	// budget; this is its body with q-indexed loads lifted out).
+	qU, qW, qRad := g.fU[q], g.fW[q], g.fRad[q]
+	qZU, qWf := g.fZU[q], g.fWf[q]
+	distMode, starMode, cWire := g.polMode == polDist, g.polMode >= polAll, g.cWire
+	zSelf := qZU
+	if distMode {
+		zSelf = 0
+	}
+	fU, fW, fRad, fZU, fWf := g.fU, g.fW, g.fRad, g.fZU, g.fWf
+	fGF, fA := g.fGF, g.fA
+	// df is the current ring's base center distance (set per ring below,
+	// before discounting any merging-segment radius): an occupant of a cell
+	// in that ring sits at MS distance ≥ df − cellMaxRad, so even its
+	// cheapest conceivable form of candFloor discards the whole cell with
+	// one comparison — without the global-maxRad discount that would let a
+	// single giant segment elsewhere loosen every search.
+	df := 0.0
+	scan := func(c int) {
+		if scanErr != nil {
+			return
+		}
+		ids := idx.cells[c]
+		if len(ids) == 0 {
+			return
+		}
+		if found && !distMode {
+			dfc := df - idx.cellMaxRad[c]
+			if dfc < 0 {
+				dfc = 0
+			}
+			var lbc float64
+			if starMode {
+				wf := qWf
+				if idx.cellWfMin[c] < wf {
+					wf = idx.cellWfMin[c]
+				}
+				lbc = idx.cellGFMin[c] + cWire*dfc*wf
+				if u := (idx.cellAMin[c] + cWire*dfc) * qWf; u < lbc {
+					lbc = u
+				}
+				lbc += qZU
+			} else {
+				// The joining wire may ride the query's edge, so its weight
+				// floor must also cover qWf, not just the cell's occupants.
+				wf := qWf
+				if idx.cellWfMin[c] < wf {
+					wf = idx.cellWfMin[c]
+				}
+				lbc = qZU + idx.cellZuMin[c] + cWire*dfc*wf
+			}
+			if dominated(lbc, out.cost) {
+				examined += len(ids)
+				skipped += int64(len(ids))
+				return
+			}
+		}
+		for _, id := range ids {
+			if int(id) == q {
+				continue
+			}
+			examined++
+			if found {
+				du := qU - fU[id]
+				if du < 0 {
+					du = -du
+				}
+				if dw := qW - fW[id]; dw > du {
+					du = dw
+				} else if -dw > du {
+					du = -dw
+				}
+				dlb := du - qRad - fRad[id]
+				if dlb < 0 {
+					dlb = 0
+				}
+				lb := dlb
+				if starMode {
+					wf := qWf
+					if fWf[id] < wf {
+						wf = fWf[id]
+					}
+					lb = fGF[id] + cWire*dlb*wf
+					pm := qWf
+					if fWf[id] > pm {
+						pm = fWf[id]
+					}
+					if u := fA[id]*pm + cWire*dlb*qWf; u < lb {
+						lb = u
+					}
+					lb += qZU
+				} else if !distMode {
+					wf := qWf
+					if fWf[id] < wf {
+						wf = fWf[id]
+					}
+					lb = qZU + fZU[id] + cWire*dlb*wf
+				}
+				if dominated(lb, out.cost) {
+					skipped++
+					continue
+				}
+			}
+			m := g.byID[id]
+			var cost float64
+			if c, ok := g.memoGet(q, int(id)); ok {
+				cached++
+				cost = g.fi.MemoCost(c)
+				if !(cost >= 0) {
+					scanErr = invariantf("memo row %d[%d] holds impossible cost %v",
+						q, id, cost)
+					return
+				}
+			} else {
+				thr := math.Inf(1)
+				if found {
+					thr = out.cost
+				}
+				c, pruned, err := r.pairCostGated(n, m, thr)
+				if err != nil {
+					scanErr = err
+					return
+				}
+				if pruned {
+					skipped++
+					continue
+				}
+				g.memoSet(q, int(id), c)
+				cost = c
+			}
+			if !found || cost < out.cost || (cost == out.cost && m.ID < out.partner.ID) {
+				out = cand{partner: m, cost: cost}
+				found = true
+			}
+		}
+	}
+	// Near field first: cell rings expand in distance order, so the running
+	// best tightens as fast as possible and the per-ring stop fires at cell
+	// granularity. Covers every cell within side−1 of the query.
+	side := 1 << blockShift
+	stopped := false
+	for ring := 0; ring < side; ring++ {
+		df = float64(ring-1)*idx.cell - rad
+		idx.visitRing(ci, cj, ring, scan)
+		if scanErr != nil {
+			return cand{}, scanErr
+		}
+		if ring > 0 {
+			rings++
+		}
+		if found && dominated(g.ringLBFlat(zSelf, qWf, idx.ringFloor(ring, rad)), out.cost) {
+			stopped = true
+			break
+		}
+	}
+	// Far field in block rings: a block at Chebyshev block distance k ≥ 1
+	// holds only cells at cell distance ≥ (k−1)·side+1, so even its
+	// cheapest conceivable occupant pays the block floor at that distance —
+	// one comparison discards the whole block, which is what keeps
+	// far-field scan cost sublinear. Cells already covered by the near
+	// rings are excluded from descended blocks.
+	scanBlock := func(bi, bj int) {
+		if scanErr != nil {
+			return
+		}
+		b := bj*idx.bcols + bi
+		if idx.blockCount[b] == 0 {
+			return
+		}
+		iLo, jLo := bi<<blockShift, bj<<blockShift
+		iHi, jHi := min(iLo+side-1, idx.cols-1), min(jLo+side-1, idx.rows-1)
+		bd := max(axisDist(ci, iLo, iHi), axisDist(cj, jLo, jHi))
+		if found && !distMode {
+			bdf := float64(bd-1)*idx.cell - rad - idx.blockMaxRad[b]
+			if bdf < 0 {
+				bdf = 0
+			}
+			var lbb float64
+			if starMode {
+				wf := qWf
+				if idx.blockWfMin[b] < wf {
+					wf = idx.blockWfMin[b]
+				}
+				lbb = idx.blockGFMin[b] + cWire*bdf*wf
+				if u := (idx.blockAMin[b] + cWire*bdf) * qWf; u < lbb {
+					lbb = u
+				}
+				lbb += qZU
+			} else {
+				// Same qWf guard as the cell check: the wire may be charged
+				// at the query's own weight.
+				wf := qWf
+				if idx.blockWfMin[b] < wf {
+					wf = idx.blockWfMin[b]
+				}
+				lbb = qZU + idx.blockZuMin[b] + cWire*bdf*wf
+			}
+			if dominated(lbb, out.cost) {
+				examined += int(idx.blockCount[b])
+				skipped += int64(idx.blockCount[b])
+				return
+			}
+		}
+		for j := jLo; j <= jHi; j++ {
+			for i := iLo; i <= iHi; i++ {
+				cd := max(absInt(i-ci), absInt(j-cj))
+				if cd < side {
+					continue
+				}
+				df = float64(cd-1)*idx.cell - rad
+				scan(j*idx.cols + i)
+			}
+		}
+	}
+	if !stopped {
+		bi0, bj0 := ci>>blockShift, cj>>blockShift
+		lastB := idx.maxBlockRing(bi0, bj0)
+		for bring := 1; bring <= lastB; bring++ {
+			idx.visitBlockRing(bi0, bj0, bring, scanBlock)
+			if scanErr != nil {
+				return cand{}, scanErr
+			}
+			rings++
+			if found && dominated(g.ringLBFlat(zSelf, qWf, idx.ringFloor(bring<<blockShift, rad)), out.cost) {
+				break
+			}
+		}
+	}
+	r.pairSkipped.Add(skipped)
+	r.pairCached.Add(cached)
+	r.noteSearch(examined, rings)
+	return out, nil
+}
+
+// foldInIndexed folds a fresh merge node k into the schedule. A ring
+// search serves double duty: it computes k's own best partner ck and
+// applies every strict improvement cost(n, k) < best[n].cost. Costs are
+// evaluated owner-first as cost(n, k), exactly as the reference fold-in
+// does, and k carries the highest live ID, so ties keep the incumbent and
+// only strict improvements rewrite best[n].
+//
+// The rings may stop as soon as the floor dominates ck (k cannot find a
+// better partner outside). The improvement duty then falls to a block
+// sweep over the unvisited remainder, which skips every block — and then
+// every cell — whose monotone best-cost maximum already lies at or below
+// the distance floor: no node there can be strictly improved. A block
+// whose maximum exceeds the floor is descended and its candidates run
+// through the same filter, memo and evaluation as the ring scan. When the
+// ring floor also dominates maxBestUB (≥ every alive best), the sweep is
+// skipped outright. Serial sections only — it rewrites best rows and
+// dependent lists as it scans.
+func (r *router) foldInIndexed(g *greedyState, k *topology.Node) error {
+	idx := g.idx
+	q := k.ID
+	rad := g.fRad[q]
+	ci, cj := idx.coords(g.fU[q], g.fW[q])
+	ck := cand{}
+	found := false
+	examined, rings := 0, 0
+	var skipped, cached int64
+	var scanErr error
+	// Hoisted query-side floor terms; see bestPartnerIndexed.
+	qU, qW, qRad := g.fU[q], g.fW[q], g.fRad[q]
+	qZU, qWf := g.fZU[q], g.fWf[q]
+	distMode, starMode, cWire := g.polMode == polDist, g.polMode >= polAll, g.cWire
+	zSelf := qZU
+	if distMode {
+		zSelf = 0
+	}
+	fU, fW, fRad, fZU, fWf := g.fU, g.fW, g.fRad, g.fZU, g.fWf
+	fGF, fA := g.fGF, g.fA
+	// Cell-level discard (see bestPartnerIndexed), with the fold-in's
+	// stricter burden: a skipped cell must neither contain k's partner nor
+	// an improvable best[n], so the threshold is the larger of ck and the
+	// cell's monotone best-cost maximum. df is the ring's base center
+	// distance; each cell discounts its own occupants' max radius.
+	df := 0.0
+	scan := func(c int) {
+		if scanErr != nil {
+			return
+		}
+		ids := idx.cells[c]
+		if len(ids) == 0 {
+			return
+		}
+		if found && !distMode {
+			thrCell := ck.cost
+			if idx.cellMaxBest[c] > thrCell {
+				thrCell = idx.cellMaxBest[c]
+			}
+			dfc := df - idx.cellMaxRad[c]
+			if dfc < 0 {
+				dfc = 0
+			}
+			var lbc float64
+			if starMode {
+				wf := qWf
+				if idx.cellWfMin[c] < wf {
+					wf = idx.cellWfMin[c]
+				}
+				lbc = idx.cellGFMin[c] + cWire*dfc*wf
+				if u := (idx.cellAMin[c] + cWire*dfc) * qWf; u < lbc {
+					lbc = u
+				}
+				lbc += qZU
+			} else {
+				// qWf guard: see bestPartnerIndexed's cell check.
+				wf := qWf
+				if idx.cellWfMin[c] < wf {
+					wf = idx.cellWfMin[c]
+				}
+				lbc = qZU + idx.cellZuMin[c] + cWire*dfc*wf
+			}
+			if dominated(lbc, thrCell) {
+				examined += len(ids)
+				skipped += int64(len(ids))
+				return
+			}
+		}
+		for _, id := range ids {
+			if int(id) == q {
+				continue
+			}
+			examined++
+			// Prune only above both thresholds: a discarded candidate then
+			// provably neither becomes ck nor improves best[n]. Until a
+			// first ck exists nothing may be pruned — k must always end up
+			// with a partner, however expensive.
+			thr := math.Inf(1)
+			if found {
+				thr = g.best[id].cost
+				if ck.cost > thr {
+					thr = ck.cost
+				}
+				du := qU - fU[id]
+				if du < 0 {
+					du = -du
+				}
+				if dw := qW - fW[id]; dw > du {
+					du = dw
+				} else if -dw > du {
+					du = -dw
+				}
+				dlb := du - qRad - fRad[id]
+				if dlb < 0 {
+					dlb = 0
+				}
+				lb := dlb
+				if starMode {
+					wf := qWf
+					if fWf[id] < wf {
+						wf = fWf[id]
+					}
+					lb = fGF[id] + cWire*dlb*wf
+					pm := qWf
+					if fWf[id] > pm {
+						pm = fWf[id]
+					}
+					if u := fA[id]*pm + cWire*dlb*qWf; u < lb {
+						lb = u
+					}
+					lb += qZU
+				} else if !distMode {
+					wf := qWf
+					if fWf[id] < wf {
+						wf = fWf[id]
+					}
+					lb = qZU + fZU[id] + cWire*dlb*wf
+				}
+				if dominated(lb, thr) {
+					skipped++
+					continue
+				}
+			}
+			n := g.byID[id]
+			var cost float64
+			if c, ok := g.memoGet(n.ID, k.ID); ok {
+				// Possible when n was just rescanned and already evaluated
+				// its pairing with k.
+				cached++
+				cost = g.fi.MemoCost(c)
+				if !(cost >= 0) {
+					scanErr = invariantf("memo row %d[%d] holds impossible cost %v",
+						n.ID, k.ID, cost)
+					return
+				}
+			} else {
+				c, pruned, err := r.pairCostGated(n, k, thr)
+				if err != nil {
+					scanErr = err
+					return
+				}
+				if pruned {
+					skipped++
+					continue
+				}
+				g.memoSet(n.ID, k.ID, c)
+				cost = c
+			}
+			if !found || cost < ck.cost || (cost == ck.cost && n.ID < ck.partner.ID) {
+				ck = cand{partner: n, cost: cost}
+				found = true
+			}
+			if cost < g.best[n.ID].cost {
+				g.setBest(n.ID, cand{partner: k, cost: cost})
+			}
+		}
+	}
+	// Hybrid near/far expansion exactly as in bestPartnerIndexed: cell
+	// rings in distance order over the near field, then block rings whose
+	// discard threshold is raised to the block's monotone best-cost maximum
+	// so a skipped block provably holds no improvable best[n] either.
+	side := 1 << blockShift
+	bi0, bj0 := ci>>blockShift, cj>>blockShift
+	lastB := idx.maxBlockRing(bi0, bj0)
+	stopRing, stopped, sweep := lastB<<blockShift, false, false
+	for ring := 0; ring < side; ring++ {
+		df = float64(ring-1)*idx.cell - rad
+		idx.visitRing(ci, cj, ring, scan)
+		if scanErr != nil {
+			return scanErr
+		}
+		if ring > 0 {
+			rings++
+		}
+		lb := g.ringLBFlat(zSelf, qWf, idx.ringFloor(ring, rad))
+		if found && dominated(lb, ck.cost) {
+			stopRing = ring
+			stopped = true
+			sweep = !dominated(lb, g.maxBestUB)
+			break
+		}
+	}
+	scanBlock := func(bi, bj int) {
+		if scanErr != nil {
+			return
+		}
+		b := bj*idx.bcols + bi
+		if idx.blockCount[b] == 0 {
+			return
+		}
+		iLo, jLo := bi<<blockShift, bj<<blockShift
+		iHi, jHi := min(iLo+side-1, idx.cols-1), min(jLo+side-1, idx.rows-1)
+		bd := max(axisDist(ci, iLo, iHi), axisDist(cj, jLo, jHi))
+		if found && !distMode {
+			thrB := ck.cost
+			if idx.blockMaxBest[b] > thrB {
+				thrB = idx.blockMaxBest[b]
+			}
+			bdf := float64(bd-1)*idx.cell - rad - idx.blockMaxRad[b]
+			if bdf < 0 {
+				bdf = 0
+			}
+			var lbb float64
+			if starMode {
+				wf := qWf
+				if idx.blockWfMin[b] < wf {
+					wf = idx.blockWfMin[b]
+				}
+				lbb = idx.blockGFMin[b] + cWire*bdf*wf
+				if u := (idx.blockAMin[b] + cWire*bdf) * qWf; u < lbb {
+					lbb = u
+				}
+				lbb += qZU
+			} else {
+				// qWf guard: see bestPartnerIndexed's block check.
+				wf := qWf
+				if idx.blockWfMin[b] < wf {
+					wf = idx.blockWfMin[b]
+				}
+				lbb = qZU + idx.blockZuMin[b] + cWire*bdf*wf
+			}
+			if dominated(lbb, thrB) {
+				examined += int(idx.blockCount[b])
+				skipped += int64(idx.blockCount[b])
+				return
+			}
+		}
+		for j := jLo; j <= jHi; j++ {
+			for i := iLo; i <= iHi; i++ {
+				cd := max(absInt(i-ci), absInt(j-cj))
+				if cd < side {
+					continue
+				}
+				df = float64(cd-1)*idx.cell - rad
+				scan(j*idx.cols + i)
+			}
+		}
+	}
+	if !stopped {
+		for bring := 1; bring <= lastB; bring++ {
+			idx.visitBlockRing(bi0, bj0, bring, scanBlock)
+			if scanErr != nil {
+				return scanErr
+			}
+			rings++
+			lb := g.ringLBFlat(zSelf, qWf, idx.ringFloor(bring<<blockShift, rad))
+			if found && dominated(lb, ck.cost) {
+				stopRing = bring << blockShift
+				sweep = !dominated(lb, g.maxBestUB)
+				break
+			}
+		}
+	}
+	if sweep {
+		// Improvement sweep: every cell at Chebyshev distance ≤ stopRing
+		// was covered by a visited block (scanned, or discarded against a
+		// threshold that included the block's best-cost maximum); beyond
+		// them, cost(n, k) > ck.cost is already proven, so only strict
+		// improvements of best[n] remain at stake.
+		for bj := 0; bj < idx.brows && scanErr == nil; bj++ {
+			for bi := 0; bi < idx.bcols; bi++ {
+				b := bj*idx.bcols + bi
+				iLo, jLo := bi<<blockShift, bj<<blockShift
+				iHi, jHi := min(iLo+side-1, idx.cols-1), min(jLo+side-1, idx.rows-1)
+				bd := max(axisDist(ci, iLo, iHi), axisDist(cj, jLo, jHi))
+				bdist := float64(max(bd-1, stopRing))*idx.cell - rad - idx.blockMaxRad[b]
+				if bdist < 0 {
+					bdist = 0
+				}
+				if g.ringLBFlat(zSelf, qWf, bdist) >= idx.blockMaxBest[b] {
+					continue
+				}
+				for j := jLo; j <= jHi; j++ {
+					for i := iLo; i <= iHi; i++ {
+						cd := max(absInt(i-ci), absInt(j-cj))
+						if cd <= stopRing {
+							continue
+						}
+						c := j*idx.cols + i
+						if len(idx.cells[c]) == 0 {
+							continue
+						}
+						cdist := float64(cd-1)*idx.cell - rad - idx.cellMaxRad[c]
+						if cdist < 0 {
+							cdist = 0
+						}
+						if g.ringLBFlat(zSelf, qWf, cdist) >= idx.cellMaxBest[c] {
+							continue
+						}
+						df = float64(cd-1)*idx.cell - rad
+						scan(c)
+					}
+				}
+			}
+		}
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	r.pairSkipped.Add(skipped)
+	r.pairCached.Add(cached)
+	r.noteSearch(examined, rings)
+	g.setBest(k.ID, ck)
+	return nil
+}
+
+// axisDist is the distance from coordinate c to the interval [lo, hi].
+func axisDist(c, lo, hi int) int {
+	if c < lo {
+		return lo - c
+	}
+	if c > hi {
+		return c - hi
+	}
+	return 0
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// runGreedyIndexed is the merge loop of the indexed path. It differs from
+// the exhaustive loop only in how candidates are generated and how stale
+// best-partner entries are found (reverse-dependent lists instead of a
+// full scan); selections, merges and every tie-break are identical.
+func (r *router) runGreedyIndexed(g *greedyState, active []*topology.Node, initStart time.Time) (*topology.Node, error) {
+	initial := make([]cand, len(active))
+	if err := r.parallelFor(len(active), func(i int) error {
+		c, err := r.bestPartnerIndexed(g, active[i])
+		initial[i] = c
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range active {
+		g.setBest(n.ID, initial[i])
+	}
+	r.stats.PhaseInit = time.Since(initStart)
+
+	alive := len(active)
+	root := active[0]
+	for alive > 1 {
+		g.fi.CheckPanic()
+		a, err := g.popCheapest()
+		if err != nil {
+			return nil, err
+		}
+		b := g.best[a.ID].partner
+		cost := g.best[a.ID].cost
+		var t0 time.Time
+		snakesBefore := r.stats.Snakes
+		if r.obsEnabled() {
+			t0 = time.Now()
+		}
+		k, err := r.merge(a, b)
+		if err != nil {
+			return nil, err
+		}
+		k.P = g.fi.MergedP(k.P)
+		r.stats.Merges++
+		r.observeMerge(t0, a, b, k, cost, r.stats.Snakes > snakesBefore, len(g.heap))
+
+		// Nodes whose cached best partner dies with a or b, collected from
+		// the reverse-dependent lists before killIndexed releases them.
+		stale := g.staleBuf[:0]
+		for _, id := range g.deps[a.ID] {
+			if int(id) != b.ID {
+				stale = append(stale, g.byID[id])
+			}
+		}
+		for _, id := range g.deps[b.ID] {
+			if int(id) != a.ID {
+				stale = append(stale, g.byID[id])
+			}
+		}
+		g.staleBuf = stale
+
+		g.killIndexed(a.ID)
+		g.killIndexed(b.ID)
+		g.byID[k.ID] = k
+		g.alive[k.ID] = true
+		r.indexAdd(g, k)
+		alive--
+
+		if g.idx.count <= g.idx.builtAt/2 {
+			r.rebuildIndex(g)
+		}
+
+		// Rescan the stale nodes against the new population (k included,
+		// as in the reference); surviving pairs come out of the memo.
+		rescan := g.rescanBuf
+		if cap(rescan) < len(stale) {
+			rescan = make([]cand, len(stale))
+		}
+		rescan = rescan[:len(stale)]
+		g.rescanBuf = rescan
+		if err := r.parallelFor(len(stale), func(i int) error {
+			c, err := r.bestPartnerIndexed(g, stale[i])
+			rescan[i] = c
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		for i, n := range stale {
+			g.setBest(n.ID, rescan[i])
+		}
+
+		if err := r.foldInIndexed(g, k); err != nil {
+			return nil, err
+		}
+		if debugDepsCheck && alive > 1 {
+			g.checkDeps(r.stats.Merges)
+		}
+		if debugBestAudit != nil && alive > 1 {
+			debugBestAudit(r, g, r.stats.Merges)
+		}
+		root = k
+	}
+	return root, nil
+}
+
+// debugDepsCheck enables the per-merge consistency audit below; test-only.
+var debugDepsCheck = false
+
+// debugBestAudit, when non-nil, runs after every indexed merge; test-only.
+var debugBestAudit func(r *router, g *greedyState, merge int)
+
+func (g *greedyState) checkDeps(merge int) {
+	for id, ok := range g.alive {
+		if !ok {
+			continue
+		}
+		b := g.best[id]
+		if b.partner == nil {
+			panic(fmt.Sprintf("merge %d: alive node %d has nil best partner", merge, id))
+		}
+		if !g.alive[b.partner.ID] {
+			panic(fmt.Sprintf("merge %d: node %d best partner %d dead", merge, id, b.partner.ID))
+		}
+		l := g.deps[b.partner.ID]
+		p := g.depPos[id]
+		if int(p) >= len(l) || l[p] != int32(id) {
+			panic(fmt.Sprintf("merge %d: node %d not at depPos %d of deps[%d] (len %d)",
+				merge, id, p, b.partner.ID, len(l)))
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/gating"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/stream"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// placedInstance builds an n-sink instance with one of several spatial
+// shapes. The adversarial ones stress the index where a uniform grid is
+// weakest: dense clusters (overfull cells), a corner hotspot next to a
+// sparse far field (rings that stay empty for a long time), a ring
+// (equidistant ties), duplicated points (zero merging-segment distance,
+// pure ID tie-breaks) and a diagonal line (degenerate in one rotated
+// coordinate).
+func placedInstance(t testing.TB, kind string, n int, seed uint64) *Instance {
+	t.Helper()
+	const side = 4000.0
+	rng := rand.New(rand.NewPCG(seed, 0x5a71a1^uint64(n)))
+	in := &Instance{Die: geom.Rect{X0: 0, Y0: 0, X1: side, Y1: side}}
+	pt := func() geom.Point { return geom.Pt(rng.Float64()*side, rng.Float64()*side) }
+	for i := 0; i < n; i++ {
+		var p geom.Point
+		switch kind {
+		case "uniform":
+			p = pt()
+		case "clustered":
+			cx, cy := float64(1+i%3)*side/4, float64(1+(i/3)%3)*side/4
+			p = geom.Pt(clampF(cx+rng.NormFloat64()*side*0.03, 0, side),
+				clampF(cy+rng.NormFloat64()*side*0.03, 0, side))
+		case "hotspot":
+			if rng.Float64() < 0.8 {
+				p = geom.Pt(rng.Float64()*side*0.12, rng.Float64()*side*0.12)
+			} else {
+				p = pt()
+			}
+		case "ring":
+			a := rng.Float64() * 2 * math.Pi
+			r := (0.30 + 0.15*rng.Float64()) * side
+			p = geom.Pt(side/2+r*math.Cos(a), side/2+r*math.Sin(a))
+		case "dup":
+			c := rng.IntN(5)
+			p = geom.Pt(float64(c)*side/5+100, float64(c)*side/7+100)
+		case "line":
+			x := rng.Float64() * side
+			p = geom.Pt(x, clampF(x+rng.NormFloat64()*2, 0, side))
+		default:
+			t.Fatalf("unknown placement kind %q", kind)
+		}
+		in.SinkLocs = append(in.SinkLocs, p)
+		in.SinkCaps = append(in.SinkCaps, 20+rng.Float64()*80)
+	}
+	d, err := isa.Generate(isa.GenConfig{NumModules: n, NumInstr: 8, Usage: 0.4, Scatter: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.DefaultMarkov().Generate(d, 400, rng)
+	in.Profile, err = activity.NewProfile(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// routeExhaustive routes in with the spatial index disabled by raising the
+// size gate above n, restoring it afterwards. Callers must not run in
+// parallel with other routes (the gate is a package variable; this is the
+// test-only seam for differential testing).
+func routeExhaustive(t testing.TB, in *Instance, opts Options) (*topology.Tree, Stats) {
+	t.Helper()
+	saved := spatialMinSinks
+	spatialMinSinks = len(in.SinkLocs) + 1
+	defer func() { spatialMinSinks = saved }()
+	tr, s, err := Route(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IndexSearches != 0 {
+		t.Fatal("exhaustive reference run used the spatial index")
+	}
+	return tr, s
+}
+
+// TestSpatialMatchesExhaustiveProperty is the differential property test of
+// the tentpole: across 200 random instances — every placement shape, every
+// indexed method, varying sizes and seeds — the spatially indexed greedy
+// must produce the bit-identical tree (same digest, same merge count) as
+// the exhaustive O(n²) scan it replaced. Any admissibility bug in the ring
+// or candidate floors, any tie-break divergence in the argmin, and any
+// staleness bug in the incremental insert/remove path shows up here as a
+// digest mismatch.
+func TestSpatialMatchesExhaustiveProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential property test routes 400 instances")
+	}
+	p := tech.Default()
+	modes := []Options{
+		{Tech: p, Method: MinSwitchedCap, Drivers: GatedTree},                        // polReduce
+		{Tech: p, Method: MinSwitchedCap, Drivers: GatedTree, Policy: gating.All{}},  // polAll
+		{Tech: p, Method: MinSwitchedCap, Drivers: GatedTree, Policy: gating.None{}}, // polNever
+		{Tech: p, Method: MinClockCapOnly, Drivers: GatedTree},                       // polClassic
+		{Tech: p, Method: GreedyDistance, Drivers: BareTree},                         // polDist
+	}
+	kinds := []string{"uniform", "clustered", "hotspot", "ring", "dup", "line"}
+
+	const cases = 200
+	indexed := 0
+	for i := 0; i < cases; i++ {
+		kind := kinds[i%len(kinds)]
+		opts := modes[(i/len(kinds))%len(modes)]
+		n := spatialMinSinks + (i*13)%80
+		name := fmt.Sprintf("%03d-%s-%s-n%d", i, kind, opts.Method, n)
+		in := placedInstance(t, kind, n, uint64(1000+i))
+
+		fast, fs, err := Route(in, opts)
+		if err != nil {
+			t.Fatalf("%s: indexed route: %v", name, err)
+		}
+		ref, _ := routeExhaustive(t, in, opts)
+		if fast.Digest() != ref.Digest() {
+			t.Fatalf("%s: indexed tree %s != exhaustive tree %s",
+				name, fast.Digest()[:12], ref.Digest()[:12])
+		}
+		if fs.IndexSearches > 0 {
+			indexed++
+		}
+	}
+	// The point is differential coverage of the index, not of the
+	// exhaustive scan against itself: degenerate shapes may legitimately
+	// decline the index, but the bulk of the cases must exercise it.
+	if indexed < cases*3/4 {
+		t.Errorf("only %d/%d cases used the spatial index", indexed, cases)
+	}
+}
+
+// FuzzSpatialIndex drives the index container with an arbitrary op stream
+// (insert, remove, noteBest) and cross-checks it against a flat mirror
+// model: membership, per-cell bucketing, per-block occupant counts, the
+// monotone best-cost maxima, and exactly-once ring traversal.
+func FuzzSpatialIndex(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252})
+	f.Add([]byte("insert-remove-insert"))
+	f.Add([]byte{255, 255, 0, 0, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const capIDs = 64
+		x := newSpatialGrid(capIDs, 0, 1000, -500, 500, 32)
+		type mirror struct {
+			live bool
+			u, w float64
+			best float64
+		}
+		var m [capIDs]mirror
+		for i := 0; i+2 < len(data); i += 3 {
+			id := int32(data[i] % capIDs)
+			u := float64(data[i+1])*5 - 100 // strays below minU: clamped
+			w := float64(data[i+2])*5 - 600 // strays below minW: clamped
+			switch data[i] % 3 {
+			case 0: // insert (skip if live: the greedy never double-inserts)
+				if !m[id].live {
+					x.insert(id, u, w)
+					m[id] = mirror{live: true, u: u, w: w}
+				}
+			case 1: // remove (removing an absent id must be a no-op)
+				x.remove(id)
+				m[id].live = false
+			case 2: // note a best cost for a live id
+				if m[id].live {
+					cost := float64(data[i+1]) + float64(data[i+2])/256
+					x.noteBest(id, cost)
+					if cost > m[id].best {
+						m[id].best = cost
+					}
+				}
+			}
+		}
+
+		// Membership and bucketing: every live id sits in exactly the cell
+		// its clamped coordinates say, and in no other; dead ids nowhere.
+		liveCount := 0
+		for id := int32(0); id < capIDs; id++ {
+			c := x.cellOf[id]
+			if !m[id].live {
+				if c != -1 {
+					t.Fatalf("dead id %d still maps to cell %d", id, c)
+				}
+				continue
+			}
+			liveCount++
+			ci, cj := x.coords(m[id].u, m[id].w)
+			if want := int32(cj*x.cols + ci); c != want {
+				t.Fatalf("id %d in cell %d, coords say %d", id, c, want)
+			}
+			found := 0
+			for _, v := range x.cells[c] {
+				if v == id {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Fatalf("id %d appears %d times in its cell", id, found)
+			}
+			// The monotone maxima must upper-bound the id's noted best.
+			if m[id].best > 0 {
+				if x.cellMaxBest[c] < m[id].best {
+					t.Fatalf("cellMaxBest %v below noted best %v", x.cellMaxBest[c], m[id].best)
+				}
+				if b := x.blockOf(c); x.blockMaxBest[b] < m[id].best {
+					t.Fatalf("blockMaxBest %v below noted best %v", x.blockMaxBest[b], m[id].best)
+				}
+			}
+		}
+		if x.count != liveCount {
+			t.Fatalf("index count %d, mirror %d", x.count, liveCount)
+		}
+
+		// Per-block occupant counts must equal the sum of their cells.
+		blockSum := make([]int32, len(x.blockCount))
+		total := 0
+		for c, ids := range x.cells {
+			blockSum[x.blockOf(int32(c))] += int32(len(ids))
+			total += len(ids)
+		}
+		if total != liveCount {
+			t.Fatalf("cells hold %d ids, mirror %d", total, liveCount)
+		}
+		for b := range blockSum {
+			if blockSum[b] != x.blockCount[b] {
+				t.Fatalf("block %d count %d, cells sum to %d", b, x.blockCount[b], blockSum[b])
+			}
+		}
+
+		// Ring traversal: expanding rings from a data-dependent center must
+		// visit every cell exactly once, so a search can neither skip nor
+		// double-count a candidate bucket.
+		var ci, cj int
+		if len(data) >= 2 {
+			ci, cj = int(data[0])%x.cols, int(data[1])%x.rows
+		}
+		seen := make([]int, len(x.cells))
+		maxR := max(max(ci, x.cols-1-ci), max(cj, x.rows-1-cj))
+		for r := 0; r <= maxR; r++ {
+			x.visitRing(ci, cj, r, func(c int) { seen[c]++ })
+		}
+		for c, n := range seen {
+			if n != 1 {
+				t.Fatalf("cell %d visited %d times by rings around (%d,%d)", c, n, ci, cj)
+			}
+		}
+		bseen := make([]int, len(x.blockCount))
+		var bi, bj int
+		if len(data) >= 2 {
+			bi, bj = int(data[0])%x.bcols, int(data[1])%x.brows
+		}
+		for r := 0; r <= x.maxBlockRing(bi, bj); r++ {
+			x.visitBlockRing(bi, bj, r, func(bi, bj int) { bseen[bj*x.bcols+bi]++ })
+		}
+		for b, n := range bseen {
+			if n != 1 {
+				t.Fatalf("block %d visited %d times", b, n)
+			}
+		}
+	})
+}

@@ -214,6 +214,23 @@ func (t TRR) Center() Point {
 	return fromRotated((t.U0+t.U1)/2, (t.W0+t.W1)/2)
 }
 
+// CenterRotated returns the midpoint of t directly in rotated (u, w)
+// coordinates — the frame where TRR distance is the Chebyshev metric, and
+// therefore the frame spatial indexes over TRRs should bucket in.
+func (t TRR) CenterRotated() (u, w float64) {
+	return (t.U0 + t.U1) / 2, (t.W0 + t.W1) / 2
+}
+
+// RadiusChebyshev returns the L∞ radius of t around its midpoint in the
+// rotated frame: half its larger rotated extent. For any TRRs s, t
+//
+//	s.Dist(t) ≥ L∞(centers) − s.RadiusChebyshev() − t.RadiusChebyshev()
+//
+// which is the containment bound expanding-ring searches prune with.
+func (t TRR) RadiusChebyshev() float64 {
+	return math.Max(t.U1-t.U0, t.W1-t.W0) / 2
+}
+
 // Corners returns the four corners of the TRR in (x, y) space. For arcs two
 // pairs coincide; for points all four do.
 func (t TRR) Corners() [4]Point {

@@ -96,6 +96,7 @@ type BenchConfig struct {
 	NumSinks  int     `json:"numSinks"`
 	Seed      uint64  `json:"seed,omitempty"`
 	DieSide   float64 `json:"dieSide,omitempty"`
+	Placement string  `json:"placement,omitempty"` // uniform|clustered|hotspot|ring
 	MinLoad   float64 `json:"minLoad,omitempty"`
 	MaxLoad   float64 `json:"maxLoad,omitempty"`
 	NumInstr  int     `json:"numInstr,omitempty"`
@@ -112,6 +113,7 @@ func (c *BenchConfig) toBench() bench.Config {
 		NumSinks:  c.NumSinks,
 		Seed:      c.Seed,
 		DieSide:   c.DieSide,
+		Placement: bench.Placement(c.Placement),
 		MinLoad:   c.MinLoad,
 		MaxLoad:   c.MaxLoad,
 		NumInstr:  c.NumInstr,
@@ -179,6 +181,19 @@ func (r *RouteRequest) Resolve() (*Resolved, error) {
 		}
 		if err := cfg.Model.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		if cfg.Placement != "" {
+			known := false
+			for _, p := range bench.Placements() {
+				if p == cfg.Placement {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("%w: unknown placement %q (want uniform|clustered|hotspot|ring)",
+					ErrBadRequest, cfg.Placement)
+			}
 		}
 	}
 	cfg = cfg.WithDefaults()
@@ -258,7 +273,8 @@ func buildOptions(mode string) gatedclock.Options {
 
 // digestVersion tags the canonical request encoding; bump on any change to
 // the digested field set so old cache keys cannot alias new requests.
-const digestVersion = 1
+// v2: sink placement joined the synthesis config.
+const digestVersion = 2
 
 // Digest returns the canonical SHA-256 request key, hex-encoded. It covers
 // the resolved synthesis config (benchmark geometry, ISA and stream
@@ -293,6 +309,7 @@ func (rr *Resolved) Digest() string {
 	i(c.NumSinks)
 	u64(c.Seed)
 	f(c.DieSide)
+	str(string(c.Placement)) // canonical: WithDefaults maps "" to uniform
 	f(c.MinLoad)
 	f(c.MaxLoad)
 	i(c.NumInstr)

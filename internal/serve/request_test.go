@@ -47,8 +47,8 @@ func TestDigestCanonicalization(t *testing.T) {
 		}
 		cfg = cfg.WithDefaults()
 		body := fmt.Sprintf(
-			`{"config":{"name":%q,"numSinks":%d,"seed":%d,"dieSide":%g,"minLoad":%g,"maxLoad":%g,"numInstr":%d,"usage":%g,"scatter":%g,"stay":%g,"step":%g,"streamLen":%d}}`,
-			cfg.Name, cfg.NumSinks, cfg.Seed, cfg.DieSide, cfg.MinLoad, cfg.MaxLoad,
+			`{"config":{"name":%q,"numSinks":%d,"seed":%d,"dieSide":%g,"placement":%q,"minLoad":%g,"maxLoad":%g,"numInstr":%d,"usage":%g,"scatter":%g,"stay":%g,"step":%g,"streamLen":%d}}`,
+			cfg.Name, cfg.NumSinks, cfg.Seed, cfg.DieSide, cfg.Placement, cfg.MinLoad, cfg.MaxLoad,
 			cfg.NumInstr, cfg.Usage, cfg.Scatter, cfg.Model.Stay, cfg.Model.Step, cfg.StreamLen)
 		if got := digestOf(t, body); got != base {
 			t.Errorf("explicit config digest %s differs from benchmark r1 %s", got, base)
@@ -80,6 +80,29 @@ func TestDigestCanonicalization(t *testing.T) {
 	t.Run("digest is stable across resolutions", func(t *testing.T) {
 		if digestOf(t, `{"benchmark":"r1"}`) != base {
 			t.Error("same body digested twice gave different keys")
+		}
+	})
+
+	t.Run("placement", func(t *testing.T) {
+		// Omitted and explicit uniform are the same canonical request; any
+		// other placement is a different geometry and must key separately.
+		elided := digestOf(t, `{"config":{"numSinks":64,"seed":3}}`)
+		if got := digestOf(t, `{"config":{"numSinks":64,"seed":3,"placement":"uniform"}}`); got != elided {
+			t.Errorf("explicit uniform digest %s differs from elided %s", got, elided)
+		}
+		seen := map[string]string{"uniform": elided}
+		for _, p := range []string{"clustered", "hotspot", "ring"} {
+			got := digestOf(t, fmt.Sprintf(`{"config":{"numSinks":64,"seed":3,"placement":%q}}`, p))
+			for prev, d := range seen {
+				if got == d {
+					t.Errorf("placement %s collides with %s", p, prev)
+				}
+			}
+			seen[p] = got
+		}
+		req := mustDecode(t, `{"config":{"numSinks":64,"placement":"spiral"}}`)
+		if _, err := req.Resolve(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("unknown placement resolved: %v", err)
 		}
 	})
 }

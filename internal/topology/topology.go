@@ -73,6 +73,15 @@ func NewSink(id, sinkIndex int, loc geom.Point, loadCap float64) *Node {
 // IsSink reports whether n is a leaf.
 func (n *Node) IsSink() bool { return n.Left == nil && n.Right == nil }
 
+// MSKey returns the spatial-index key of n's merging segment: its midpoint
+// in rotated (u, w) coordinates plus its Chebyshev radius in the same
+// frame. The merging segment is immutable once the node is created, so the
+// key never changes while the node is indexed.
+func (n *Node) MSKey() (u, w, rad float64) {
+	u, w = n.MS.CenterRotated()
+	return u, w, n.MS.RadiusChebyshev()
+}
+
 // Gated reports whether the edge feeding n carries a masking gate (as
 // opposed to a plain buffer or bare wire).
 func (n *Node) Gated() bool { return n.Driver != nil && n.isGate }
