@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench bench-smoke race fuzz serve loadtest clean
+.PHONY: all build vet lint test test-full bench bench-smoke race fuzz serve loadtest chaos-smoke clean
 
 # Default: build everything, lint, and run the fast test suite.
 all: build lint test
@@ -57,6 +57,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzArc -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run xxx -fuzz FuzzMergeRegion -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run xxx -fuzz FuzzDecodeRouteRequest -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run xxx -fuzz FuzzCacheSnapshot -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run xxx -fuzz FuzzSpatialIndex -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzRoute -fuzztime $(FUZZTIME) .
 
@@ -69,6 +70,14 @@ serve:
 # cross-checked against the server's serve_* counters.
 loadtest:
 	$(GO) run ./examples/loadclient -n 400 -c 16
+
+# Chaos smoke under -race: a short deterministic fault schedule (injected
+# panics, 5xx bursts, latency) through the resilient client, a kill/drain
+# window, and one snapshot/restart cycle — the acceptance assertions live
+# in the harness test and the loadclient -chaos run writes BENCH_chaos.json.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosHarnessEndToEnd|TestPanicIsolation|TestBatchPartialFailure' -count=1 ./internal/serve
+	$(GO) run -race ./examples/loadclient -chaos -n 300 -json BENCH_chaos.json
 
 clean:
 	$(GO) clean ./...

@@ -9,13 +9,18 @@
 //	gcrd -addr localhost:8080                       # defaults
 //	gcrd -addr :8080 -workers 4 -queue 64 -cache 256
 //	gcrd -addr :8080 -verify                        # verify every cache miss
+//	gcrd -addr :8080 -snapshot /var/lib/gcrd/cache.snap  # warm restarts
+//	gcrd -addr :8080 -chaos seed=42,panic=200,error=100  # fault injection
 //
 //	curl -s localhost:8080/v1/route -d '{"benchmark":"r1"}'
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/metrics
 //
 // SIGINT/SIGTERM drain gracefully: new work is refused with 503 while
-// queued and in-flight routes run to completion (bounded by -grace).
+// queued and in-flight routes run to completion (bounded by -grace); with
+// -snapshot configured the drain ends by writing the cache snapshot the
+// next start warms from.
 package main
 
 import (
@@ -45,17 +50,32 @@ func main() {
 	routeWorkers := flag.Int("route-workers", 1, "per-route scan goroutines (pool gives cross-request parallelism)")
 	verifyMisses := flag.Bool("verify", false, "run the independent checker on every cache miss before caching")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight routes are canceled")
+	snapshot := flag.String("snapshot", "", "cache snapshot path: loaded (and digest-verified) at start, rewritten periodically and on drain")
+	snapshotInterval := flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (<= 0 disables periodic saves; the on-drain save always runs)")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. seed=42,panic=200,error=100,latency=50:10ms,slow=100:5ms (empty = disabled)")
 	flag.Parse()
 
+	chaos, err := serve.ParseChaos(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcrd: -chaos:", err)
+		os.Exit(2)
+	}
+	interval := *snapshotInterval
+	if interval <= 0 {
+		interval = -1 // explicit "periodic saves off" for serve.Config
+	}
 	if err := run(*addr, serve.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		ShedWatermark: *watermark,
-		CacheSize:     *cacheSize,
-		MaxTimeout:    *timeout,
-		RouteWorkers:  *routeWorkers,
-		Verify:        *verifyMisses,
-		Metrics:       obs.Default(),
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		ShedWatermark:    *watermark,
+		CacheSize:        *cacheSize,
+		MaxTimeout:       *timeout,
+		RouteWorkers:     *routeWorkers,
+		Verify:           *verifyMisses,
+		Metrics:          obs.Default(),
+		Chaos:            chaos,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: interval,
 	}, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "gcrd:", err)
 		os.Exit(1)
@@ -68,13 +88,19 @@ func run(addr string, cfg serve.Config, grace time.Duration) error {
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("cannot listen on %s (port in use, or address not local?): %w", addr, err)
 	}
 	obs.Default().PublishExpvar("gatedclock")
 
 	srv := serve.New(cfg)
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	log.Printf("gcrd: serving on http://%s (POST /v1/route, /healthz, /metrics, /debug/vars)", ln.Addr())
+	log.Printf("gcrd: serving on http://%s (POST /v1/route, /healthz, /readyz, /metrics, /debug/vars)", ln.Addr())
+	if cfg.SnapshotPath != "" {
+		log.Printf("gcrd: cache snapshot at %s (watch /readyz for warming → ready)", cfg.SnapshotPath)
+	}
+	if cfg.Chaos != (serve.Chaos{}) {
+		log.Printf("gcrd: CHAOS ARMED (seed %d): injecting faults on schedule — not a production configuration", cfg.Chaos.Seed)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -83,7 +109,7 @@ func run(addr string, cfg serve.Config, grace time.Duration) error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		return err
+		return fmt.Errorf("http serve on %s failed: %w", ln.Addr(), err)
 	case got := <-sig:
 		log.Printf("gcrd: %v — draining (budget %v)", got, grace)
 	}

@@ -8,10 +8,19 @@
 // (requests/sec, p50/p99 latency at the configured queue depth), which is
 // how `make bench` produces BENCH_serve.json.
 //
+// With -chaos it instead runs the full chaos harness — a seeded schedule
+// of injected worker panics, 5xx errors and latency against the real
+// routing pipeline, a kill/drain window driving the resilient client's
+// circuit breaker open, and one snapshot/restart cycle — enforcing the
+// acceptance bar (zero crashes, ≥99% non-injected success, every panic
+// recovered and counted, warm post-restart cache) and writing the
+// BENCH_chaos.json record via -json.
+//
 // Usage:
 //
 //	go run ./examples/loadclient -n 400 -c 16
 //	go run ./examples/loadclient -n 400 -c 32 -depth 64 -json BENCH_serve.json
+//	go run ./examples/loadclient -chaos -n 300 -json BENCH_chaos.json
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -33,11 +43,93 @@ func main() {
 	workers := flag.Int("workers", 0, "server worker pool (0 = GOMAXPROCS)")
 	depth := flag.Int("depth", 64, "server admission queue depth")
 	jsonOut := flag.String("json", "", "also write a benchmark summary JSON to this file")
+	chaos := flag.Bool("chaos", false, "run the chaos harness (fault injection + kill window + warm restart) instead of the plain load test")
 	flag.Parse()
-	if err := run(os.Stdout, *n, *conc, *workers, *depth, *jsonOut); err != nil {
+	var err error
+	if *chaos {
+		err = runChaos(os.Stdout, *n, *conc, *workers, *depth, *jsonOut)
+	} else {
+		err = run(os.Stdout, *n, *conc, *workers, *depth, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadclient:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos drives serve.RunChaosHarness over the real routing pipeline and
+// enforces the chaos acceptance criteria on its report.
+func runChaos(w *os.File, n, conc, workers, depth int, jsonOut string) error {
+	dir, err := os.MkdirTemp("", "gcr-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rep, err := serve.RunChaosHarness(serve.ChaosHarnessConfig{
+		Requests:    n,
+		Concurrency: conc,
+		Workers:     workers,
+		QueueDepth:  depth,
+		Chaos: serve.Chaos{
+			Seed:        42,
+			PanicPeriod: 25, ErrorPeriod: 25,
+			LatencyPeriod: 50, Latency: 500 * time.Microsecond,
+			SlowPeriod: 50, Slow: 200 * time.Microsecond,
+		},
+		SnapshotPath: filepath.Join(dir, "cache.snap"),
+		MaxAttempts:  4,
+		Bodies:       serve.DistinctBodies(48, 1000),
+		KillBodies:   serve.DistinctBodies(12, 9000),
+	})
+	if err != nil {
+		return fmt.Errorf("chaos harness: %w", err)
+	}
+
+	fmt.Fprintf(w, "chaos: %d requests — ok %d, injected-final %d, other failures %d (availability %.4f)\n",
+		rep.Requests, rep.OK, rep.InjectedFinal, rep.OtherFailures, rep.Availability)
+	fmt.Fprintf(w, "  injected: %d panics  %d errors  %d latency  %d slow — recovered panics %d, client retries %d\n",
+		rep.InjectedPanics, rep.InjectedErrors, rep.InjectedLatency, rep.InjectedSlow, rep.ServerPanics, rep.Retries)
+	fmt.Fprintf(w, "  kill window: breaker opened %d×, fast-failed %d of %d requests; snapshot saves %d\n",
+		rep.BreakerOpens, rep.BreakerFastFails, rep.KillRequests, rep.SnapshotSaves)
+	fmt.Fprintf(w, "  warm restart: loaded %d entries, replay hit rate %.2f over %d digests\n",
+		rep.SnapshotLoaded, rep.PostRestartHitRate, rep.Replayed)
+
+	var bad []string
+	if rep.OtherFailures != 0 {
+		bad = append(bad, fmt.Sprintf("%d non-injected failures", rep.OtherFailures))
+	}
+	if rep.Availability < 0.99 {
+		bad = append(bad, fmt.Sprintf("availability %.4f < 0.99", rep.Availability))
+	}
+	if rep.ServerPanics == 0 || rep.ServerPanics != rep.InjectedPanics {
+		bad = append(bad, fmt.Sprintf("panics injected %d vs recovered %d", rep.InjectedPanics, rep.ServerPanics))
+	}
+	if rep.PostRestartHitRate <= 0 {
+		bad = append(bad, "post-restart cache hit rate is zero")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("chaos acceptance failed: %v", bad)
+	}
+	fmt.Fprintln(w, "  chaos acceptance: PASS")
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote chaos report to %s\n", jsonOut)
+	}
+	return nil
 }
 
 func run(w *os.File, n, conc, workers, depth int, jsonOut string) error {

@@ -5,6 +5,11 @@
 // loop. Each injector fires exactly once, at a seed-derived point of the
 // construction, so every failure a test provokes is reproducible.
 //
+// Schedule extends the same idea to long-lived components: a seeded,
+// rate-based firing pattern (exactly one firing per fixed-size event
+// window) that the serving tier composes into sustained chaos runs —
+// injected panics, errors and latency at a known, assertable rate.
+//
 // The hooks are nil-safe no-ops: a nil *Injector (the production
 // configuration) costs one pointer test per call site and changes no
 // behavior, keeping the fast path bit-identical to the reference.
@@ -58,18 +63,81 @@ type Plan struct {
 	Nth  int
 }
 
+// mix64 is splitmix64's finalizer: a cheap, well-distributed bijection
+// used to derive deterministic trigger points from a seed.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // NthFromSeed derives a deterministic trigger index in [0, span) from a
 // seed, so a test can sweep injection points without hand-picking them.
-// The mix is splitmix64's finalizer.
 func NthFromSeed(seed uint64, span int) int {
 	if span <= 0 {
 		return 0
 	}
-	z := seed + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return int(z % uint64(span))
+	return int(mix64(seed) % uint64(span))
+}
+
+// Schedule fires deterministically at an average rate of one event per
+// Period draws: within every window of Period consecutive draws, exactly
+// one — at a seed- and window-derived phase — returns true. Because the
+// draw counter is atomic and the firing phase depends only on the window
+// index, the *number* of firings over N draws is exactly N/Period (±1)
+// regardless of how concurrent callers interleave, which is what makes
+// chaos runs assertable: a test that sends 400 requests through a
+// Period=50 schedule sees exactly 8 injected faults, every time.
+//
+// A nil *Schedule never fires, mirroring the nil-*Injector production
+// no-op convention.
+type Schedule struct {
+	seed   uint64
+	period uint64
+	n      atomic.Int64
+	fired  atomic.Int64
+}
+
+// NewSchedule returns a schedule firing once per period draws; period <= 0
+// returns nil (never fires).
+func NewSchedule(seed uint64, period int) *Schedule {
+	if period <= 0 {
+		return nil
+	}
+	return &Schedule{seed: seed, period: uint64(period)}
+}
+
+// Next consumes one draw and reports whether this is the window's firing
+// point.
+func (s *Schedule) Next() bool {
+	if s == nil {
+		return false
+	}
+	n := uint64(s.n.Add(1) - 1)
+	window := n / s.period
+	phase := mix64(s.seed^window) % s.period
+	if n%s.period == phase {
+		s.fired.Add(1)
+		return true
+	}
+	return false
+}
+
+// Fired returns how many times the schedule has fired.
+func (s *Schedule) Fired() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.fired.Load()
+}
+
+// Draws returns how many events have been drawn.
+func (s *Schedule) Draws() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.n.Load()
 }
 
 // Injector counts eligible events down to the planned one and fires

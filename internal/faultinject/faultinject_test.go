@@ -3,6 +3,7 @@ package faultinject
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -80,6 +81,87 @@ func TestConcurrentCountdownFiresOnce(t *testing.T) {
 	fired.Range(func(_, v any) bool { total += v.(int); return true })
 	if total != 1 {
 		t.Fatalf("fault fired %d times, want exactly 1", total)
+	}
+}
+
+func TestScheduleExactRate(t *testing.T) {
+	if NewSchedule(1, 0) != nil || NewSchedule(1, -5) != nil {
+		t.Fatal("non-positive period must yield the nil (never-fires) schedule")
+	}
+	var nilSched *Schedule
+	if nilSched.Next() || nilSched.Fired() != 0 || nilSched.Draws() != 0 {
+		t.Fatal("nil schedule fired")
+	}
+
+	const period, windows = 50, 8
+	s := NewSchedule(42, period)
+	for w := 0; w < windows; w++ {
+		fires := 0
+		for k := 0; k < period; k++ {
+			if s.Next() {
+				fires++
+			}
+		}
+		if fires != 1 {
+			t.Fatalf("window %d fired %d times, want exactly 1", w, fires)
+		}
+	}
+	if s.Fired() != windows || s.Draws() != period*windows {
+		t.Fatalf("Fired=%d Draws=%d, want %d and %d", s.Fired(), s.Draws(), windows, period*windows)
+	}
+}
+
+func TestScheduleDeterministicAcrossSeeds(t *testing.T) {
+	// Same seed: identical firing pattern. Different seeds: different
+	// phases (at least sometimes, over several windows).
+	pattern := func(seed uint64) []bool {
+		s := NewSchedule(seed, 10)
+		out := make([]bool, 60)
+		for i := range out {
+			out[i] = s.Next()
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 60-draw patterns — phase not seed-derived")
+	}
+}
+
+func TestScheduleConcurrentCountExact(t *testing.T) {
+	// The firing count over N draws is exact no matter how callers
+	// interleave: each window of `period` draws fires once.
+	const period, total = 25, 1000
+	s := NewSchedule(3, period)
+	var wg sync.WaitGroup
+	var fired atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < total/8; k++ {
+				if s.Next() {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != total/period {
+		t.Fatalf("%d draws at period %d fired %d times, want %d", total, period, got, total/period)
 	}
 }
 

@@ -77,3 +77,17 @@ func (c *lruCache) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// entriesColdToHot copies the cache in eviction order (least → most
+// recently used), the order a snapshot replays through add() so the
+// restored cache reproduces the original recency list exactly.
+func (c *lruCache) entriesColdToHot() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, cacheEntry{digest: e.digest, res: e.res})
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosHarnessConfig parameterizes one end-to-end chaos run: a seeded
+// fault schedule against a live server, a kill window against the
+// draining server, and a warm restart from the on-drain cache snapshot.
+type ChaosHarnessConfig struct {
+	// Requests is the chaos-phase request count (0 = 400).
+	Requests int
+	// Concurrency is the number of parallel clients (0 = 8).
+	Concurrency int
+	// Chaos is the server-side fault schedule for the chaos phase.
+	Chaos Chaos
+	// SnapshotPath is where the cache snapshot lives across the restart
+	// (required).
+	SnapshotPath string
+	// Server shape. Zero values take the serve.Config defaults.
+	Workers, QueueDepth, CacheSize int
+	// Client policy. Zero values take the Client defaults; the harness
+	// always enables retries (a chaos run without retries measures the
+	// injector, not the resilience).
+	MaxAttempts int
+	HedgeDelay  time.Duration
+	// KillRequests is how many requests to fire into the draining server
+	// during the kill window (0 = 12) — the phase that exercises the
+	// breaker's open/fast-fail path.
+	KillRequests int
+	// KillBodies are the kill-window request bodies (default: Bodies).
+	// They should be digests the cache has NOT seen: a draining server
+	// still answers cached digests 200, and the breaker only opens on the
+	// refused work.
+	KillBodies [][]byte
+	// Bodies is the request mix (valid bodies only; default: a
+	// cache-friendly mixed set). Unique bodies are replayed post-restart.
+	Bodies [][]byte
+
+	// route is the test seam; nil = the real routing pipeline.
+	route routeFunc
+}
+
+// ChaosReport is the outcome of one harness run — the record behind
+// BENCH_chaos.json and the chaos-smoke assertions.
+type ChaosReport struct {
+	// Chaos phase.
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	InjectedFinal int     `json:"injected_final"` // final outcome was an injected fault (kind panic|injected)
+	OtherFailures int     `json:"other_failures"` // non-injected final failures — 0 in a healthy run
+	Availability  float64 `json:"availability"`   // OK / (Requests − InjectedFinal)
+	P50Ms         float64 `json:"latency_p50_ms"`
+	P99Ms         float64 `json:"latency_p99_ms"`
+	Retries       int64   `json:"client_retries"`
+	Hedges        int64   `json:"client_hedges"`
+
+	// Server-side accounting for the chaos phase.
+	ServerPanics    int64 `json:"serve_panics_total"`
+	InjectedPanics  int64 `json:"injected_panics"`
+	InjectedErrors  int64 `json:"injected_errors"`
+	InjectedLatency int64 `json:"injected_latency"`
+	InjectedSlow    int64 `json:"injected_slow"`
+	SnapshotSaves   int64 `json:"snapshot_saves"`
+
+	// Kill window: requests against the draining server.
+	KillRequests     int   `json:"kill_requests"`
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerFastFails int64 `json:"breaker_fastfails"`
+
+	// Warm restart: unique chaos-phase bodies replayed against the
+	// restarted server.
+	Replayed           int     `json:"replayed"`
+	ReplayHits         int     `json:"replay_hits"`
+	PostRestartHitRate float64 `json:"post_restart_hit_rate"`
+	SnapshotLoaded     int64   `json:"snapshot_loaded"`
+}
+
+// RunChaosHarness executes the full kill/recover cycle:
+//
+//  1. chaos phase — Requests through the resilient client against a
+//     server injecting panics, errors and latency on Chaos's schedules;
+//  2. kill window — the server drains (writing its on-drain snapshot)
+//     while KillRequests keep arriving, driving the client's breaker
+//     open;
+//  3. warm restart — a fresh server loads the snapshot and the unique
+//     request bodies are replayed, measuring the post-restart hit rate.
+//
+// The process surviving to the returned report *is* the headline
+// assertion: every injected panic was recovered into a typed 500.
+func RunChaosHarness(hc ChaosHarnessConfig) (*ChaosReport, error) {
+	if hc.SnapshotPath == "" {
+		return nil, fmt.Errorf("serve: chaos harness needs a snapshot path")
+	}
+	if hc.Requests <= 0 {
+		hc.Requests = 400
+	}
+	if hc.Concurrency <= 0 {
+		hc.Concurrency = 8
+	}
+	if hc.KillRequests <= 0 {
+		hc.KillRequests = 12
+	}
+	if len(hc.Bodies) == 0 {
+		hc.Bodies = MixedBodies(8, 4, 0)
+	}
+	if len(hc.KillBodies) == 0 {
+		hc.KillBodies = hc.Bodies
+	}
+	rep := &ChaosReport{Requests: hc.Requests, KillRequests: hc.KillRequests}
+
+	// Phase 1: chaos.
+	srv := New(Config{
+		Workers: hc.Workers, QueueDepth: hc.QueueDepth, CacheSize: hc.CacheSize,
+		Chaos: hc.Chaos, SnapshotPath: hc.SnapshotPath, SnapshotInterval: -1,
+		route: hc.route,
+	})
+	client := &Client{
+		Transport:   HandlerTransport(srv.Handler()),
+		MaxAttempts: hc.MaxAttempts,
+		HedgeDelay:  hc.HedgeDelay,
+		BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+	}
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < hc.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= hc.Requests {
+					return
+				}
+				body := hc.Bodies[i%len(hc.Bodies)]
+				t0 := time.Now()
+				res, err := client.Route(context.Background(), body)
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				switch {
+				case err == nil && res.Status == 200:
+					rep.OK++
+				case res != nil && res.ErrorBody != nil &&
+					(res.ErrorBody.Kind == "panic" || res.ErrorBody.Kind == "injected"):
+					rep.InjectedFinal++
+				default:
+					rep.OtherFailures++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if denom := rep.Requests - rep.InjectedFinal; denom > 0 {
+		rep.Availability = float64(rep.OK) / float64(denom)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return float64(latencies[i]) / 1e6
+	}
+	rep.P50Ms, rep.P99Ms = quantile(0.50), quantile(0.99)
+
+	snapA := srv.Metrics().Snapshot()
+	rep.ServerPanics = snapA["serve_panics_total"].Value
+	rep.InjectedPanics = snapA["serve_injected_panics_total"].Value
+	rep.InjectedErrors = snapA["serve_injected_errors_total"].Value
+	rep.InjectedLatency = snapA["serve_injected_latency_total"].Value
+	rep.InjectedSlow = snapA["serve_injected_slow_total"].Value
+
+	// Phase 2: kill window. Begin the drain (which ends in the on-drain
+	// snapshot) while requests keep arriving; the 503s it answers with
+	// drive the client's breaker open, after which the remaining attempts
+	// fast-fail without touching the dying server.
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		drainDone <- srv.Shutdown(ctx)
+	}()
+	for !srv.Draining() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	for i := 0; i < hc.KillRequests; i++ {
+		// A tight deadline per request: the draining server's Retry-After
+		// would otherwise park each retry for a second — the budget check
+		// turns that into an immediate typed failure, which is exactly the
+		// fast-fail behavior a real caller wants during a kill window.
+		kctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		client.Route(kctx, hc.KillBodies[i%len(hc.KillBodies)])
+		cancel()
+	}
+	if err := <-drainDone; err != nil {
+		return nil, fmt.Errorf("chaos harness: drain: %w", err)
+	}
+	csnap := client.Metrics.Snapshot()
+	rep.Retries = csnap["client_retries_total"].Value
+	rep.Hedges = csnap["client_hedges_total"].Value
+	rep.BreakerOpens = csnap["client_breaker_opens_total"].Value
+	rep.BreakerFastFails = csnap["client_breaker_fastfail_total"].Value
+	rep.SnapshotSaves = srv.Metrics().Snapshot()["serve_snapshot_saves_total"].Value
+
+	// Phase 3: warm restart. A fresh server (no chaos) loads the snapshot;
+	// replaying each unique body must hit the restored cache.
+	srv2 := New(Config{
+		Workers: hc.Workers, QueueDepth: hc.QueueDepth, CacheSize: hc.CacheSize,
+		SnapshotPath: hc.SnapshotPath, SnapshotInterval: -1,
+		route: hc.route,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+	}()
+	for srv2.Readiness() != "ready" { // wait out the snapshot load
+		time.Sleep(100 * time.Microsecond)
+	}
+	client2 := &Client{Transport: HandlerTransport(srv2.Handler())}
+	seen := map[string]bool{}
+	for _, body := range hc.Bodies {
+		if seen[string(body)] {
+			continue
+		}
+		seen[string(body)] = true
+		res, err := client2.Route(context.Background(), body)
+		if err != nil || res.Status != 200 {
+			continue
+		}
+		rep.Replayed++
+		if res.Response.Cached {
+			rep.ReplayHits++
+		}
+	}
+	if rep.Replayed > 0 {
+		rep.PostRestartHitRate = float64(rep.ReplayHits) / float64(rep.Replayed)
+	}
+	rep.SnapshotLoaded = srv2.Metrics().Snapshot()["serve_snapshot_loaded_total"].Value
+	return rep, nil
+}

@@ -75,7 +75,7 @@ type RouteStats struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind classifies the failure: bad_request, overloaded, draining,
-	// canceled, deadline, invariant, internal.
+	// canceled, deadline, panic, injected, invariant, internal.
 	Kind string `json:"kind"`
 }
 
@@ -122,16 +122,40 @@ func buildResponse(rr *Resolved, info submitInfo, res *RouteResult) *RouteRespon
 //	POST /v1/route        one routing request
 //	POST /v1/route/batch  a JSON array of requests, answered per item
 //	GET  /healthz         liveness + drain state
+//	GET  /readyz          readiness: warming | ready | draining
 //	GET  /metrics         Prometheus text exposition of the registry
 //	GET  /debug/vars      expvar (includes the registry snapshot)
+//
+// The whole mux is wrapped in panic isolation: a panic escaping any
+// handler answers that one request with a typed 500 instead of unwinding
+// the serving goroutine.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/route", s.handleRoute)
 	mux.HandleFunc("POST /v1/route/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware is the outermost line of panic defense: handler-level
+// panics (decode paths, response building — anything outside the already
+// isolated worker executions) degrade to a 500 on that request alone. If
+// the handler had already begun its response the write is best-effort;
+// the goroutine still survives.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.inst.panics.Inc()
+				writeJSON(w, http.StatusInternalServerError, &ErrorResponse{
+					Error: fmt.Sprintf("%v: handler: %v", ErrPanic, rec), Kind: "panic"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -165,6 +189,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	s.chaos.beforeWrite(r.Context())
 	writeJSON(w, http.StatusOK, buildResponse(rr, info, res))
 }
 
@@ -180,6 +205,9 @@ type BatchItem struct {
 // cache/coalescer/queue pipeline concurrently and answers 200 with a
 // per-item array in request order. Identical items in one batch coalesce
 // to a single execution like any other concurrent identical requests.
+// Items fail independently: a malformed, erroring, or outright panicking
+// item yields its own error object while every sibling completes
+// normally.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.inst.batches.Inc()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
@@ -202,6 +230,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Per-item panic isolation: one poisoned item must not fail
+			// its siblings (or leak the batch's WaitGroup and hang the
+			// whole response).
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.inst.panics.Inc()
+					items[i] = BatchItem{Status: http.StatusInternalServerError, Error: &ErrorResponse{
+						Error: fmt.Sprintf("%v: batch item %d: %v", ErrPanic, i, rec), Kind: "panic"}}
+				}
+			}()
 			rr, err := reqs[i].Resolve()
 			if err != nil {
 				items[i] = errorItem(s, err)
@@ -216,6 +254,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
+	s.chaos.beforeWrite(r.Context())
 	writeJSON(w, http.StatusOK, items)
 }
 
@@ -231,6 +270,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queueDepth": s.QueueDepth(),
 		"workers":    s.cfg.Workers,
 		"uptimeSec":  int(time.Since(s.startedAt).Seconds()),
+	})
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness: a
+// warming server (snapshot load still running) is alive but should not
+// receive balanced traffic yet; a draining one is alive but on its way
+// out. Only "ready" answers 200.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := s.Readiness()
+	status := http.StatusOK
+	if state != "ready" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"status":       state,
+		"cacheEntries": s.cache.len(),
+		"queueDepth":   s.QueueDepth(),
 	})
 }
 
@@ -257,6 +313,10 @@ func classify(err error) (int, string) {
 		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, gatedclock.ErrCanceled):
 		return statusClientClosedRequest, "canceled"
+	case errors.Is(err, ErrPanic):
+		return http.StatusInternalServerError, "panic"
+	case errors.Is(err, ErrInjected):
+		return http.StatusInternalServerError, "injected"
 	case errors.Is(err, verify.ErrInvariant):
 		return http.StatusInternalServerError, "invariant"
 	default:

@@ -172,3 +172,17 @@ func MixedBodies(repeat, distinct, invalid int) [][]byte {
 	}
 	return out
 }
+
+// DistinctBodies builds n unique-seed valid requests starting at seedBase.
+// Chaos runs use two disjoint pools: one for the fault phase (whose unique
+// digests are later replayed against the restarted server), and one the
+// cache has never seen for the kill window — a draining server still
+// answers cached digests, so only cold digests exercise the breaker.
+func DistinctBodies(n, seedBase int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(
+			`{"config":{"numSinks":12,"seed":%d,"numInstr":6,"streamLen":100},"mode":"gated-red"}`, seedBase+i))
+	}
+	return out
+}

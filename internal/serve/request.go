@@ -43,6 +43,10 @@ var (
 	// ErrDraining is returned for new work while the server is shutting
 	// down; in-flight work still completes. → 503.
 	ErrDraining = errors.New("serve: draining, not accepting new work")
+	// ErrPanic wraps a panic recovered inside a routing execution, a batch
+	// item, or a handler: the poisoned request degrades to one typed 500
+	// instead of taking the process down. → 500, kind "panic".
+	ErrPanic = errors.New("serve: recovered panic")
 )
 
 // RouteRequest is the JSON body of POST /v1/route. Exactly one of

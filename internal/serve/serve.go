@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	gatedclock "repro"
@@ -53,6 +55,23 @@ type Config struct {
 	// router's construction spans (nil = disabled).
 	Tracer obs.Tracer
 
+	// Chaos arms service-level fault injection (injected worker panics,
+	// 5xx errors, latency, slow responses) on deterministic seeded
+	// schedules. The zero value injects nothing — the production
+	// configuration.
+	Chaos Chaos
+
+	// SnapshotPath, when non-empty, makes the result cache crash-safe:
+	// the server loads the snapshot at this path on start (reporting
+	// "warming" on /readyz until done), rewrites it every
+	// SnapshotInterval, and writes a final snapshot when Shutdown's drain
+	// completes. Writes are atomic (temp file + rename); corrupt or
+	// stale-version snapshots are discarded entry-by-entry, never trusted.
+	SnapshotPath string
+	// SnapshotInterval is the periodic snapshot cadence (0 = 30s;
+	// negative disables periodic saves, keeping only the on-drain one).
+	SnapshotInterval time.Duration
+
 	// route is the test seam for the routing execution; nil selects the
 	// real pipeline (generate → design → route → evaluate).
 	route routeFunc
@@ -85,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
 	if c.RouteWorkers <= 0 {
 		c.RouteWorkers = 1
 	}
@@ -115,9 +137,16 @@ type Server struct {
 
 	cache *lruCache
 	inst  *instruments
+	chaos *chaosInjector
 
 	jobWG    sync.WaitGroup // enqueued-but-unfinished jobs
 	workerWG sync.WaitGroup
+
+	// warmed flips once the snapshot load (if any) has finished; until
+	// then /readyz reports "warming". Serving is not gated on it — a
+	// warming server routes fine, its cache is just still cold.
+	warmed atomic.Bool
+	snapWG sync.WaitGroup // snapshot loader + periodic saver
 
 	startedAt time.Time
 }
@@ -144,11 +173,12 @@ type call struct {
 
 // instruments is the serve_* instrument set, registered once per Server.
 type instruments struct {
-	requests, hits, misses, coalesced *obs.Counter
-	shed, badRequests, routeErrors    *obs.Counter
-	verifyFails, batches              *obs.Counter
-	depth, inflight, cacheEntries     *obs.Gauge
-	queueWaitMs, routeMs              *obs.Histogram
+	requests, hits, misses, coalesced  *obs.Counter
+	shed, badRequests, routeErrors     *obs.Counter
+	verifyFails, batches, panics       *obs.Counter
+	snapSaves, snapLoaded, snapRejects *obs.Counter
+	depth, inflight, cacheEntries      *obs.Gauge
+	queueWaitMs, routeMs               *obs.Histogram
 }
 
 func newInstruments(r *obs.Registry) *instruments {
@@ -163,6 +193,10 @@ func newInstruments(r *obs.Registry) *instruments {
 		routeErrors:  r.Counter("serve_route_errors_total", "routing executions that failed"),
 		verifyFails:  r.Counter("serve_verify_failures_total", "independent-verifier rejections of routed results"),
 		batches:      r.Counter("serve_batch_total", "batch requests received"),
+		panics:       r.Counter("serve_panics_total", "panics recovered into typed 500s (execution, batch item, or handler)"),
+		snapSaves:    r.Counter("serve_snapshot_saves_total", "cache snapshots written (periodic + on-drain)"),
+		snapLoaded:   r.Counter("serve_snapshot_loaded_total", "cache entries restored from the start-time snapshot"),
+		snapRejects:  r.Counter("serve_snapshot_rejected_total", "snapshot entries discarded by load-time verification"),
 		depth:        r.Gauge("serve_queue_depth", "admission-queue occupancy"),
 		inflight:     r.Gauge("serve_inflight", "routing executions currently running"),
 		cacheEntries: r.Gauge("serve_cache_entries", "LRU result-cache occupancy"),
@@ -171,7 +205,10 @@ func newInstruments(r *obs.Registry) *instruments {
 	}
 }
 
-// New builds and starts a Server: the worker pool is live on return.
+// New builds and starts a Server: the worker pool is live on return. When
+// a snapshot path is configured, the cache warms in the background — the
+// server routes immediately, /readyz reports "warming" until the load
+// finishes, and a periodic saver keeps the snapshot fresh.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -181,6 +218,7 @@ func New(cfg Config) *Server {
 		flight:    make(map[string]*call),
 		cache:     newLRUCache(cfg.CacheSize),
 		inst:      newInstruments(cfg.Metrics),
+		chaos:     newChaosInjector(cfg.Chaos, cfg.Metrics),
 		startedAt: time.Now(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -188,7 +226,35 @@ func New(cfg Config) *Server {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	if cfg.SnapshotPath == "" {
+		s.warmed.Store(true)
+	} else {
+		s.snapWG.Add(1)
+		go func() {
+			defer s.snapWG.Done()
+			s.loadSnapshot()
+			s.warmed.Store(true)
+			if cfg.SnapshotInterval > 0 {
+				s.snapshotLoop()
+			}
+		}()
+	}
 	return s
+}
+
+// Readiness classifies the server for load balancers: "warming" while the
+// start-time snapshot load is still running, "draining" once Shutdown has
+// begun, "ready" otherwise. Liveness (/healthz) stays green while warming;
+// only readiness withholds traffic.
+func (s *Server) Readiness() string {
+	switch {
+	case s.Draining():
+		return "draining"
+	case !s.warmed.Load():
+		return "warming"
+	default:
+		return "ready"
+	}
 }
 
 // Metrics returns the registry the server's instruments live on.
@@ -327,7 +393,7 @@ func (s *Server) runJob(j *job) {
 		opts.Tracer = s.cfg.Tracer
 		s.inst.inflight.Set(int64(s.inflightDelta(1)))
 		start := time.Now()
-		res, err = s.cfg.route(j.ctx, j.rr, opts)
+		res, err = s.safeRoute(j.ctx, j.rr, opts)
 		dur := time.Since(start)
 		s.inst.inflight.Set(int64(s.inflightDelta(-1)))
 		s.inst.routeMs.Observe(float64(dur) / 1e6)
@@ -351,6 +417,42 @@ func (s *Server) runJob(j *job) {
 	j.call.res, j.call.err = res, err
 	s.mu.Unlock()
 	close(j.call.done)
+}
+
+// safeRoute executes the routing pipeline with panic isolation: a panic
+// anywhere inside — an injected chaos panic, a poisoned request tripping a
+// library bug — is recovered into a typed ErrPanic carried to this job's
+// waiters as a 500, while the worker, its siblings, and every unrelated
+// in-flight request keep running. The recovery increments
+// serve_panics_total and, when tracing is armed, emits a serve.panic span
+// so the blast site is visible in the trace next to the route it poisoned.
+func (s *Server) safeRoute(ctx context.Context, rr *Resolved, opts gatedclock.Options) (res *RouteResult, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			s.inst.panics.Inc()
+			s.span("serve.panic", start, time.Since(start))
+			res = nil
+			err = fmt.Errorf("%w: %v\n%s", ErrPanic, r, truncStack(debug.Stack()))
+		}
+	}()
+	if err := s.chaos.beforeRoute(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", gatedclock.ErrCanceled, err)
+		}
+		return nil, err
+	}
+	return s.cfg.route(ctx, rr, opts)
+}
+
+// truncStack bounds a recovered goroutine stack to something a JSON error
+// body can carry without bloating every waiter's response.
+func truncStack(stack []byte) []byte {
+	const max = 2048
+	if len(stack) > max {
+		return append(stack[:max:max], "…"...)
+	}
+	return stack
 }
 
 // inflightDelta adjusts and returns the in-flight count under the server
@@ -429,6 +531,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.stop)
 	s.workerWG.Wait()
 	s.baseCancel()
+	s.snapWG.Wait() // loader + periodic saver are done; the path is ours
+	if s.cfg.SnapshotPath != "" {
+		// On-drain snapshot: persist everything the drained executions
+		// added, so a restart warm-starts from the freshest cache.
+		if serr := s.SaveSnapshot(); serr != nil && err == nil {
+			err = fmt.Errorf("final cache snapshot: %w", serr)
+		}
+	}
 	return err
 }
 
