@@ -29,21 +29,24 @@ test-full:
 # Router benchmarks with the fast-path counters as custom metrics, plus the
 # serve-layer load benchmark (requests/sec, p50/p99 at queue depth 64).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkRoute|BenchmarkConstructScaling' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkRoute|BenchmarkConstructScaling|BenchmarkConstructMulticore' -benchmem .
 	$(GO) run ./examples/loadclient -n 400 -c 32 -depth 64 -json BENCH_serve.json
 
-# CI smoke: one iteration of the routing benchmarks plus the allocation
-# ceiling at N=1024. Catches gross ns/op and allocs/op regressions without
-# paying for a statistically meaningful benchmark run.
+# CI smoke: one iteration of the routing benchmarks, the allocation
+# ceilings at N=1024/4096, and the p90 candidates-per-search budget at
+# N=16384. Catches gross ns/op, allocs/op and candidate-bound regressions
+# without paying for a statistically meaningful benchmark run.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkRoute$$|BenchmarkConstructScaling/N=(128|1024)$$' -benchtime 1x -benchmem .
-	$(GO) test -run TestRouteAllocationCeiling .
+	$(GO) test -run 'TestRouteAllocationCeiling|TestCandidateBudget16k' .
 
 # Race detector over the packages with Workers > 1 parallel scans, the
 # fallback/cancellation paths, the traced/metered route path (concurrent
 # routes sharing one tracer and registry live in ./internal/core and
 # ./internal/obs), the concurrent routing service, the gcr command, and the
-# public API (verifier always on there).
+# public API (verifier always on there). TestMulticoreDigestProperty runs
+# here under -short: it forces the sharded fold-in on and is the test that
+# puts the fold workers under the race detector.
 race:
 	$(GO) test -race -short ./internal/core/... ./internal/obs/... ./internal/activity/... ./internal/serve/... ./cmd/gcr/... .
 

@@ -1,12 +1,13 @@
 // Allocation-regression guard for the spatially indexed greedy. The index
-// made routing near-linear in time; this pins it near-linear in memory too.
-// The ceiling is ~50% above the measured steady state (≈13.6k allocs for
-// N=1024 at the time of writing) so ordinary churn passes, while an
-// accidental per-candidate or per-ring allocation — which multiplies by the
-// ~30k pair evaluations — blows through it immediately.
+// made routing near-linear in time; the arena and scratch pools behind it
+// pin it near-linear in memory too. Ceilings sit ~50% above the measured
+// steady state so ordinary churn passes, while an accidental per-candidate,
+// per-region or per-merge allocation — which multiplies by the tens of
+// thousands of pair evaluations — blows through them immediately.
 package gatedclock_test
 
 import (
+	"runtime"
 	"testing"
 
 	gatedclock "repro"
@@ -14,37 +15,61 @@ import (
 
 func TestRouteAllocationCeiling(t *testing.T) {
 	if testing.Short() {
-		t.Skip("routes N=1024 several times")
+		t.Skip("routes N=1024 and N=4096 several times")
 	}
-	bm, err := gatedclock.GenerateBenchmark(gatedclock.BenchmarkConfig{
-		Name: "allocguard", NumSinks: 1024, Seed: 1, StreamLen: 2000,
-	})
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		sinks      int
+		allocsCeil float64 // allocations per Route
+		bytesCeil  float64 // heap bytes per Route
+	}{
+		// Measured post-arena steady state: ≈2.1k allocs / 2.4 MB at
+		// N=1024 and ≈7.4k allocs / 9.3 MB at N=4096 (down from ≈13.6k
+		// allocs at N=1024 before the slab arenas).
+		{sinks: 1024, allocsCeil: 3200, bytesCeil: 3.6e6},
+		{sinks: 4096, allocsCeil: 11000, bytesCeil: 14e6},
 	}
-	d, err := gatedclock.NewDesign(bm)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Workers: 1 keeps the count deterministic — goroutine scheduling in the
-	// parallel scan would otherwise jitter per-run allocations.
-	opts := gatedclock.GatedReducedOptions()
-	opts.Workers = 1
-	if _, err := d.Route(opts); err != nil {
-		t.Fatal(err)
-	}
-
-	var routeErr error
-	avg := testing.AllocsPerRun(3, func() {
-		if _, err := d.Route(opts); err != nil {
-			routeErr = err
+	for i := range cases {
+		c := &cases[i]
+		bm, err := gatedclock.GenerateBenchmark(gatedclock.BenchmarkConfig{
+			Name: "allocguard", NumSinks: c.sinks, Seed: 1, StreamLen: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-	})
-	if routeErr != nil {
-		t.Fatal(routeErr)
-	}
-	const ceiling = 20000
-	if avg > ceiling {
-		t.Errorf("Route(N=1024) averaged %.0f allocs, ceiling %d", avg, ceiling)
+		d, err := gatedclock.NewDesign(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Workers: 1 keeps the count deterministic — goroutine scheduling in
+		// the parallel scan would otherwise jitter per-run allocations.
+		opts := gatedclock.GatedReducedOptions()
+		opts.Workers = 1
+		if _, err := d.Route(opts); err != nil {
+			t.Fatal(err)
+		}
+
+		var routeErr error
+		var before, after runtime.MemStats
+		const runs = 3
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		avg := testing.AllocsPerRun(runs, func() {
+			if _, err := d.Route(opts); err != nil {
+				routeErr = err
+			}
+		})
+		runtime.ReadMemStats(&after)
+		if routeErr != nil {
+			t.Fatal(routeErr)
+		}
+		// AllocsPerRun executes runs+1 route calls (one warm-up).
+		bytesPer := float64(after.TotalAlloc-before.TotalAlloc) / (runs + 1)
+		t.Logf("N=%d: %.0f allocs/route, %.0f bytes/route", c.sinks, avg, bytesPer)
+		if avg > c.allocsCeil {
+			t.Errorf("Route(N=%d) averaged %.0f allocs, ceiling %.0f", c.sinks, avg, c.allocsCeil)
+		}
+		if bytesPer > c.bytesCeil {
+			t.Errorf("Route(N=%d) averaged %.0f heap bytes, ceiling %.0f", c.sinks, bytesPer, c.bytesCeil)
+		}
 	}
 }

@@ -8,6 +8,7 @@
 package gatedclock_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand/v2"
 	"testing"
@@ -128,6 +129,40 @@ func BenchmarkConstructScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkConstructMulticore is the Workers dimension of the scaling
+// series: the same N=16384 instance routed with 1, 2, 4 and 8 fold-in
+// workers. Trees are bit-identical across the row (the digest tests pin
+// that); only the wall clock may move. On a single-vCPU host the >1 rows
+// measure the coordination overhead of the sharded fold-in, not a
+// speed-up — read them together with the host's core count.
+func BenchmarkConstructMulticore(b *testing.B) {
+	bm, err := gatedclock.GenerateBenchmark(gatedclock.BenchmarkConfig{
+		Name: "mc", NumSinks: 16384, Seed: 1, StreamLen: 2000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := gatedclock.NewDesign(bm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wk := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", wk), func(b *testing.B) {
+			opts := gatedclock.GatedReducedOptions()
+			opts.Workers = wk
+			var stats gatedclock.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := d.Route(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = res.Stats
+			}
+			reportRouterStats(b, stats)
+		})
+	}
+}
+
 // reportRouterStats surfaces the fast-path counters alongside ns/op so
 // regressions in pruning or caching are visible in benchmark diffs.
 func reportRouterStats(b *testing.B, s gatedclock.Stats) {
@@ -136,6 +171,7 @@ func reportRouterStats(b *testing.B, s gatedclock.Stats) {
 	b.ReportMetric(s.CacheHitRate(), "cache-hit-rate")
 	if s.IndexSearches > 0 {
 		b.ReportMetric(float64(s.IndexCandidates)/float64(s.IndexSearches), "cands/search")
+		b.ReportMetric(float64(s.NeighborhoodQuantile(0.90)), "p90-cands/search")
 	}
 }
 

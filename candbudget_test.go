@@ -1,0 +1,45 @@
+// Candidate-budget regression guard for the quadtree-walk candidate
+// generation. The walk's whole point is that a search inspects a small,
+// bounded neighborhood instead of the expanding-ring scans' long tails;
+// this pins the p90 of candidates-per-search at N=16384 under a fixed
+// budget so a bound regression (a loosened floor, a broken region
+// discard) fails CI rather than silently degrading to near-quadratic.
+package gatedclock_test
+
+import (
+	"testing"
+
+	gatedclock "repro"
+)
+
+func TestCandidateBudget16k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routes N=16384")
+	}
+	bm, err := gatedclock.GenerateBenchmark(gatedclock.BenchmarkConfig{
+		Name: "candbudget", NumSinks: 16384, Seed: 1, StreamLen: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gatedclock.NewDesign(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Route(gatedclock.GatedReducedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.IndexSearches == 0 {
+		t.Fatal("N=16384 route did not use the spatial index")
+	}
+	// The quantile reads the log2 histogram, so the observable values are
+	// powers of two; 2048 is ~4× the measured steady state.
+	const budget = 2048
+	p50, p90 := s.NeighborhoodQuantile(0.50), s.NeighborhoodQuantile(0.90)
+	t.Logf("N=16384: %d searches, p50<=%d p90<=%d candidates/search", s.IndexSearches, p50, p90)
+	if p90 > budget {
+		t.Errorf("p90 candidates/search = %d, budget %d", p90, budget)
+	}
+}

@@ -510,8 +510,8 @@ func printStats(w io.Writer, s gatedclock.Stats) {
 		t.AddRow("index candidates emitted", report.I(s.IndexCandidates))
 		t.AddRow("  avg per search", report.F(float64(s.IndexCandidates)/float64(s.IndexSearches), 1))
 		t.AddRow("  p50 / p90 neighborhood", fmt.Sprintf("<=%d / <=%d",
-			neighborhoodQuantile(s, 0.50), neighborhoodQuantile(s, 0.90)))
-		t.AddRow("index ring expansions", report.I(s.IndexRingExpansions))
+			s.NeighborhoodQuantile(0.50), s.NeighborhoodQuantile(0.90)))
+		t.AddRow("index regions visited", report.I(s.IndexRegionsVisited))
 		t.AddRow("index rebuilds", report.I(s.IndexRebuilds))
 	}
 	t.AddRow("phase: initial scan", s.PhaseInit.Round(time.Microsecond).String())
@@ -523,27 +523,6 @@ func printStats(w io.Writer, s gatedclock.Stats) {
 		t.AddRow("downgraded to reference", "no")
 	}
 	t.Fprint(w)
-}
-
-// neighborhoodQuantile reads the log2-bucketed neighborhood histogram and
-// returns the smallest power-of-two bound b such that at least frac of
-// the index searches examined <= b candidates.
-func neighborhoodQuantile(s gatedclock.Stats, frac float64) int {
-	total := 0
-	for _, n := range s.IndexNeighborhood {
-		total += n
-	}
-	if total == 0 {
-		return 0
-	}
-	cum := 0
-	for i, n := range s.IndexNeighborhood {
-		cum += n
-		if float64(cum) >= frac*float64(total) {
-			return 1 << i
-		}
-	}
-	return 1 << (len(s.IndexNeighborhood) - 1)
 }
 
 func printTree(w io.Writer, t *gatedclock.Tree) {

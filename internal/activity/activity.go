@@ -454,39 +454,73 @@ func (p *Profile) handleAdd(h *Handle, d int) {
 	h.count++
 }
 
+// SetWords returns the number of uint64 words an instruction bitset of
+// this profile occupies — the backing-buffer stride callers of the *Into
+// constructors must slab-allocate per handle.
+func (p *Profile) SetWords() int { return (p.ISA.NumInstr() + 63) / 64 }
+
 // NewHandle builds the activity handle of set s from scratch. Saturated
 // words contribute their probability via the precomputed per-word frequency
 // partial sums; L and Q accumulate per set bit. O(K·|S|).
 func (p *Profile) NewHandle(s InstrSet) *Handle {
-	h := &Handle{Set: isa.NewBitset(p.ISA.NumInstr())}
+	h := &Handle{}
+	p.NewHandleInto(h, isa.NewBitset(p.ISA.NumInstr()), s)
+	return h
+}
+
+// NewHandleInto is NewHandle without the allocations: the handle is built
+// in place in dst, whose set is backed by buf (len ≥ SetWords, ownership
+// transfers to dst). Every accumulated float matches NewHandle bit for bit
+// — same extension order, same partial sums.
+func (p *Profile) NewHandleInto(dst *Handle, buf isa.Bitset, s InstrSet) {
+	buf = buf[:p.SetWords()]
+	for i := range buf {
+		buf[i] = 0
+	}
+	*dst = Handle{Set: buf}
 	last := len(s) - 1
 	for w, word := range s {
 		full := ^uint64(0)
 		if w == last {
 			full = p.tailMask
 		}
-		probBefore := h.prob
+		probBefore := dst.prob
 		base := w << 6
 		for bw := word; bw != 0; bw &= bw - 1 {
-			p.handleAdd(h, base+bits.TrailingZeros64(bw))
+			p.handleAdd(dst, base+bits.TrailingZeros64(bw))
 		}
 		if word == full && word != 0 {
-			h.prob = probBefore + p.wordFreq[w]
+			dst.prob = probBefore + p.wordFreq[w]
 		}
 	}
-	return h
 }
 
 // UnionHandle returns the handle of a.Set ∪ b.Set by extending the larger
 // handle with the instructions only the smaller one has — O(K·Δ) where Δ
 // is the number of added instructions. The inputs are not modified.
 func (p *Profile) UnionHandle(a, b *Handle) *Handle {
+	h := &Handle{}
+	p.UnionHandleInto(h, isa.NewBitset(p.ISA.NumInstr()), a, b)
+	return h
+}
+
+// UnionHandleInto is UnionHandle without the two allocations: the union
+// handle is built in place in dst, whose set is backed by buf (len ≥
+// SetWords; must not alias a's or b's set; ownership transfers to dst).
+// The extension order is identical to UnionHandle's, so every float in dst
+// is bit-identical to what UnionHandle would return.
+func (p *Profile) UnionHandleInto(dst *Handle, buf isa.Bitset, a, b *Handle) {
 	base, other := a, b
 	if other.count > base.count {
 		base, other = other, base
 	}
-	h := &Handle{
-		Set:   base.Set.Clone(),
+	buf = buf[:p.SetWords()]
+	copy(buf, base.Set)
+	for i := len(base.Set); i < len(buf); i++ {
+		buf[i] = 0
+	}
+	*dst = Handle{
+		Set:   buf,
 		prob:  base.prob,
 		lin:   base.lin,
 		quad:  base.quad,
@@ -496,10 +530,9 @@ func (p *Profile) UnionHandle(a, b *Handle) *Handle {
 		word &^= base.Set[w]
 		wbase := w << 6
 		for ; word != 0; word &= word - 1 {
-			p.handleAdd(h, wbase+bits.TrailingZeros64(word))
+			p.handleAdd(dst, wbase+bits.TrailingZeros64(word))
 		}
 	}
-	return h
 }
 
 // TransProbUnion returns Ptr(a.Set ∪ b.Set) in O(K·Δ) via the incremental

@@ -277,13 +277,18 @@ type Stats struct {
 
 	// Spatial-index counters (spatial.go); all zero when the run used the
 	// exhaustive scan (tiny instances, ActivityDriven, the reference path).
-	IndexSearches       int // expanding-ring searches (best-partner + fold-in)
-	IndexCandidates     int // candidates emitted by the index across all searches
-	IndexRingExpansions int // ring steps taken beyond each search's home cell
+	IndexSearches   int // quadtree walks (best-partner + fold-in)
+	IndexCandidates int // candidates that reached the per-candidate filter
+	// IndexRegionsVisited counts quadtree regions expanded or scanned —
+	// regions that survived the occupancy and dominance checks; the budget
+	// it tracks is how much of the pyramid a search touches.
+	IndexRegionsVisited int
 	IndexRebuilds       int // grid rebuilds after the active set halved
-	// IndexNeighborhood is a histogram of per-search emitted-candidate
-	// counts; bucket i counts searches that examined at most 2^i
-	// candidates (the last bucket is unbounded).
+	// IndexNeighborhood is a histogram of per-search filter-touched
+	// candidate counts; bucket i counts searches that examined at most 2^i
+	// candidates (the last bucket is unbounded). Candidates discarded at
+	// region granularity are counted in PairEvalsSkipped but not here —
+	// the histogram prices the per-candidate work a search actually did.
 	IndexNeighborhood [12]int
 
 	// Wall time per construction phase.
@@ -297,6 +302,34 @@ type Stats struct {
 	// failure.
 	Downgraded      bool
 	DowngradeReason string
+}
+
+// NeighborhoodQuantile returns the frac-quantile (0 < frac ≤ 1) of the
+// per-search candidate count from the log2 neighborhood histogram, as the
+// upper edge 2^i of the bucket holding that quantile — the resolution the
+// histogram has. Returns 0 when no searches were recorded. This is the
+// number "p90 candidates per search ≤ budget" assertions and gcr -stats
+// read.
+func (s Stats) NeighborhoodQuantile(frac float64) int {
+	total := 0
+	for _, n := range s.IndexNeighborhood {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	need := int(math.Ceil(frac * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	run := 0
+	for i, n := range s.IndexNeighborhood {
+		run += n
+		if run >= need {
+			return 1 << i
+		}
+	}
+	return 1 << (len(s.IndexNeighborhood) - 1)
 }
 
 // CacheHitRate returns the fraction of memo-eligible lookups answered by
@@ -325,7 +358,7 @@ func (s *Stats) addAttempt(failed Stats) {
 	s.PairMemoStores += failed.PairMemoStores
 	s.IndexSearches += failed.IndexSearches
 	s.IndexCandidates += failed.IndexCandidates
-	s.IndexRingExpansions += failed.IndexRingExpansions
+	s.IndexRegionsVisited += failed.IndexRegionsVisited
 	s.IndexRebuilds += failed.IndexRebuilds
 	for i, v := range failed.IndexNeighborhood {
 		s.IndexNeighborhood[i] += v
@@ -430,7 +463,7 @@ func routeOnce(ctx context.Context, in *Instance, opts Options) (*topology.Tree,
 	r.stats.PairMemoStores = int(r.memoStores.Load())
 	r.stats.IndexSearches = int(r.idxSearches.Load())
 	r.stats.IndexCandidates = int(r.idxCandidates.Load())
-	r.stats.IndexRingExpansions = int(r.idxRings.Load())
+	r.stats.IndexRegionsVisited = int(r.idxRegions.Load())
 	for i := range r.idxHist {
 		r.stats.IndexNeighborhood[i] = int(r.idxHist[i].Load())
 	}
@@ -455,6 +488,19 @@ type router struct {
 	bufferCap float64 // ungated-edge buffer-insertion threshold (fF)
 	workers   int
 
+	// Arenas of the construction. Every run of the greedy performs exactly
+	// n−1 merges, each creating one Node and (with a profile) one activity
+	// Handle over one bitset of actWords words, so all three are carved
+	// from backing arrays sized up front in makeSinks. Arena slots are
+	// tree-resident — the tree outlives the router, and so do the arrays.
+	// If an arena ever runs dry (a schedule that merges more than n−1
+	// times would be a bug elsewhere), carving falls back to the heap
+	// rather than reallocating and invalidating handed-out pointers.
+	nodeArena   []topology.Node
+	handleArena []activity.Handle
+	wordArena   []uint64
+	actWords    int
+
 	nextID      int
 	stats       Stats
 	pairEvals   atomic.Int64
@@ -462,11 +508,11 @@ type router struct {
 	pairCached  atomic.Int64
 	memoStores  atomic.Int64
 
-	// Spatial-index accounting; updated by the (possibly parallel) ring
+	// Spatial-index accounting; updated by the (possibly parallel) pyramid
 	// searches, loaded into Stats once per attempt.
 	idxSearches   atomic.Int64
 	idxCandidates atomic.Int64
-	idxRings      atomic.Int64
+	idxRegions    atomic.Int64
 	idxHist       [len(Stats{}.IndexNeighborhood)]atomic.Int64
 
 	// Observability taps (obs.go); all nil/zero when disabled.
@@ -489,27 +535,39 @@ func (r *router) checkCtx() error {
 	return nil
 }
 
+// safeCallW invokes fn(i, w) behind a panic barrier, converting a panic to
+// an invariant error at the call boundary — a recover() in the
+// orchestration loop cannot reach a worker goroutine's stack, and crashing
+// the process would make the corruption unrecoverable. A plain function
+// (not a closure built per parallelFor call) so the per-merge parallel
+// phases allocate nothing for the guard.
+func safeCallW(fn func(i, w int) error, i, w int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = invariantf("panic in parallel scan at index %d: %v", i, rec)
+		}
+	}()
+	return fn(i, w)
+}
+
 // parallelFor runs fn(0..n-1) across the router's workers, preserving
-// nothing but the per-index outputs fn writes; the first error wins. A
-// panic inside fn is converted to an invariant error at the goroutine
-// boundary — a recover() in the orchestration loop cannot reach a worker
-// goroutine's stack, and crashing the process would make the corruption
-// unrecoverable.
+// nothing but the per-index outputs fn writes; the first error wins.
 func (r *router) parallelFor(n int, fn func(i int) error) error {
-	call := func(i int) (err error) {
-		defer func() {
-			if rec := recover(); rec != nil {
-				err = invariantf("panic in parallel scan at index %d: %v", i, rec)
-			}
-		}()
-		return fn(i)
-	}
+	return r.parallelForW(n, func(i, _ int) error { return fn(i) })
+}
+
+// parallelForW is parallelFor with a worker identity: fn additionally
+// receives the index w (0 ≤ w < workers) of the goroutine running it, so
+// callers can hand each worker private scratch (walk heaps, fold-in
+// accumulators) without locking. The serial path — one worker, or too few
+// items to be worth the fan-out — always reports w = 0.
+func (r *router) parallelForW(n int, fn func(i, w int) error) error {
 	if r.workers <= 1 || n < 64 {
 		for i := 0; i < n; i++ {
 			if err := r.checkCtx(); err != nil {
 				return err
 			}
-			if err := call(i); err != nil {
+			if err := safeCallW(fn, i, 0); err != nil {
 				return err
 			}
 		}
@@ -520,7 +578,7 @@ func (r *router) parallelFor(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < r.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -531,12 +589,12 @@ func (r *router) parallelFor(n int, fn func(i int) error) error {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				if err := call(i); err != nil {
+				if err := safeCallW(fn, i, w); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err, ok := firstErr.Load().(error); ok {
@@ -796,19 +854,65 @@ func (r *router) runGreedyReference() (*topology.Node, error) {
 }
 
 func (r *router) makeSinks() []*topology.Node {
-	nodes := make([]*topology.Node, len(r.in.SinkLocs))
-	for i, loc := range r.in.SinkLocs {
-		n := topology.NewSink(i, i, loc, r.in.SinkCaps[i])
-		if p := r.in.Profile; p != nil {
-			n.Instr = p.SetForModule(i)
-			n.P = p.SignalProb(n.Instr)
-			n.Ptr = p.TransProb(n.Instr)
-			n.Act = p.NewHandle(n.Instr)
-		}
-		nodes[i] = n
+	n := len(r.in.SinkLocs)
+	// One backing array for all 2n−1 nodes of the tree (n sinks + n−1
+	// merges) and, when a profile is attached, for all their activity
+	// handles and bitset words. The slabs live exactly as long as the tree
+	// that points into them.
+	slab := make([]topology.Node, n, 2*n-1)
+	nodes := make([]*topology.Node, n)
+	if p := r.in.Profile; p != nil {
+		r.actWords = p.SetWords()
+		r.handleArena = make([]activity.Handle, 0, 2*n-1)
+		r.wordArena = make([]uint64, 0, (2*n-1)*r.actWords)
 	}
-	r.nextID = len(nodes)
+	for i, loc := range r.in.SinkLocs {
+		slab[i] = topology.MakeSink(i, i, loc, r.in.SinkCaps[i])
+		node := &slab[i]
+		if p := r.in.Profile; p != nil {
+			node.Instr = p.SetForModule(i)
+			node.P = p.SignalProb(node.Instr)
+			node.Ptr = p.TransProb(node.Instr)
+			node.Act = r.carveHandle()
+			p.NewHandleInto(node.Act, r.carveWords(), node.Instr)
+		}
+		nodes[i] = node
+	}
+	r.nodeArena = slab
+	r.nextID = n
 	return nodes
+}
+
+// carveNode returns a pointer to a fresh Node slot from the arena, or a
+// heap-allocated Node if the arena is exhausted (defensive: appending past
+// capacity would move the array under every handed-out pointer).
+func (r *router) carveNode() *topology.Node {
+	if len(r.nodeArena) < cap(r.nodeArena) {
+		r.nodeArena = r.nodeArena[:len(r.nodeArena)+1]
+		return &r.nodeArena[len(r.nodeArena)-1]
+	}
+	return &topology.Node{}
+}
+
+// carveHandle returns a fresh Handle slot, falling back to the heap when
+// the arena is dry (same aliasing argument as carveNode).
+func (r *router) carveHandle() *activity.Handle {
+	if len(r.handleArena) < cap(r.handleArena) {
+		r.handleArena = r.handleArena[:len(r.handleArena)+1]
+		return &r.handleArena[len(r.handleArena)-1]
+	}
+	return &activity.Handle{}
+}
+
+// carveWords returns an actWords-long bitset buffer from the word arena,
+// or a fresh one when the arena is dry.
+func (r *router) carveWords() []uint64 {
+	if len(r.wordArena)+r.actWords <= cap(r.wordArena) {
+		off := len(r.wordArena)
+		r.wordArena = r.wordArena[:off+r.actWords]
+		return r.wordArena[off : off+r.actWords : off+r.actWords]
+	}
+	return make([]uint64, r.actWords)
 }
 
 // cheapest returns the node whose cached pair is globally cheapest,
@@ -994,7 +1098,8 @@ func (r *router) merge(a, b *topology.Node) (*topology.Node, error) {
 	var parentSet activity.InstrSet
 	var parentAct *activity.Handle
 	if p := r.in.Profile; p != nil {
-		parentAct = p.UnionHandle(a.Act, b.Act)
+		parentAct = r.carveHandle()
+		p.UnionHandleInto(parentAct, r.carveWords(), a.Act, b.Act)
 		parentSet = parentAct.Set
 		parentP = p.SignalProb(parentSet)
 	}
@@ -1010,7 +1115,8 @@ func (r *router) merge(a, b *topology.Node) (*topology.Node, error) {
 		r.stats.Snakes++
 	}
 
-	k := &topology.Node{
+	k := r.carveNode()
+	*k = topology.Node{
 		ID:        r.nextID,
 		SinkIndex: -1,
 		Left:      a,

@@ -137,11 +137,21 @@ type greedyState struct {
 	fi    *faultinject.Injector // nil in production
 
 	// Indexed-mode state; all nil/zero in exhaustive mode.
-	idx       *spatialIndex
-	rows      [][]memoEntry // compact memo rows, replacing memo
-	deps      [][]int32     // deps[p] = IDs whose best partner is p
-	depPos    []int32       // position of id within deps[best[id].partner]
-	maxBestUB float64       // ≥ best[n].cost for every alive n; retightened at rebuilds
+	idx    *spatialIndex
+	rows   [][]memoEntry // compact memo rows, replacing memo
+	deps   [][]int32     // deps[p] = IDs whose best partner is p
+	depPos []int32       // position of id within deps[best[id].partner]
+
+	// Per-worker search scratch (walk heaps, fold-in walkers) plus the
+	// sharded fold-in's serial-probe walker and hoisted shard closure;
+	// foldSeed/foldLevel carry the probe result and frontier level into
+	// the closure. gridScr pools every grid allocation across rebuilds.
+	scratch   []searchScratch
+	probeFold foldWalker
+	shardFn   func(i, w int) error
+	foldSeed  cand
+	foldLevel int
+	gridScr   *spatialScratch
 
 	// Flat per-ID views of the immutable node state the indexed path's
 	// candidate filter reads: rotated merging-segment midpoints and radii,
@@ -166,10 +176,16 @@ type greedyState struct {
 	cWire    float64
 	forceCap float64
 
-	// Arena-style recycling: rows and dependent lists of killed nodes are
-	// handed to their successors, and the per-merge scratch slices are
-	// reused across iterations, so steady-state merge work allocates
-	// nothing beyond genuine row growth.
+	// Arena-style recycling: fresh memo rows and dependent lists are
+	// carved from two slabs (three-index capped, so growth reallocates
+	// off-slab instead of aliasing a neighbor), killed nodes hand theirs
+	// to their successors, and the per-merge scratch slices are reused
+	// across iterations — steady-state merge work allocates nothing
+	// beyond genuine row growth.
+	rowSlab   []memoEntry
+	rowOff    int
+	depSlab   []int32
+	depOff    int
 	freeRows  [][]memoEntry
 	freeDeps  [][]int32
 	staleBuf  []*topology.Node
@@ -210,9 +226,6 @@ func (g *greedyState) setBest(id int, c cand) {
 		}
 		if c.partner != nil {
 			g.depAdd(c.partner.ID, int32(id))
-		}
-		if c.cost > g.maxBestUB {
-			g.maxBestUB = c.cost
 		}
 		g.idx.noteBest(int32(id), c.cost)
 	}
@@ -261,24 +274,46 @@ func (g *greedyState) killIndexed(id int) {
 	g.deps[id] = nil
 }
 
-// assignRow hands node id a recycled (or fresh) compact memo row.
+// memoRowInit and depInit are the initial capacities of a compact memo
+// row and a reverse-dependent list — also the per-sink carve widths of
+// the two slabs attachIndex lays out.
+const (
+	memoRowInit = 16
+	depInit     = 8
+)
+
+// assignRow hands node id a recycled compact memo row, a slab carve, or a
+// fresh heap row when the slab is dry. Slab carves are zero-length with a
+// hard cap, so appending past memoRowInit moves the row off-slab instead
+// of growing into a neighbor's carve.
 func (g *greedyState) assignRow(id int) {
 	if n := len(g.freeRows); n > 0 {
 		g.rows[id] = g.freeRows[n-1]
 		g.freeRows = g.freeRows[:n-1]
 		return
 	}
-	g.rows[id] = make([]memoEntry, 0, 16)
+	if off := g.rowOff; off+memoRowInit <= len(g.rowSlab) {
+		g.rows[id] = g.rowSlab[off : off : off+memoRowInit]
+		g.rowOff = off + memoRowInit
+		return
+	}
+	g.rows[id] = make([]memoEntry, 0, memoRowInit)
 }
 
-// assignDeps hands node id a recycled (or fresh) dependent list.
+// assignDeps hands node id a recycled dependent list, a slab carve, or a
+// fresh heap list (same carve rules as assignRow).
 func (g *greedyState) assignDeps(id int) {
 	if n := len(g.freeDeps); n > 0 {
 		g.deps[id] = g.freeDeps[n-1]
 		g.freeDeps = g.freeDeps[:n-1]
 		return
 	}
-	g.deps[id] = make([]int32, 0, 8)
+	if off := g.depOff; off+depInit <= len(g.depSlab) {
+		g.deps[id] = g.depSlab[off : off : off+depInit]
+		g.depOff = off + depInit
+		return
+	}
+	g.deps[id] = make([]int32, 0, depInit)
 }
 
 // popCheapest returns the live node whose cached pair is globally

@@ -35,9 +35,11 @@ const (
 	MetricMemoStores  = "core_pair_memo_stores_total"
 	MetricIdxSearches = "core_index_searches_total"
 	MetricIdxCands    = "core_index_candidates_total"
-	MetricIdxRings    = "core_index_ring_expansions_total"
+	MetricIdxRegions  = "core_index_regions_visited_total"
 	MetricIdxRebuilds = "core_index_rebuilds_total"
 	MetricIdxNeighb   = "core_index_neighborhood_size"
+	MetricIdxNeighP50 = "core_index_neighborhood_p50"
+	MetricIdxNeighP90 = "core_index_neighborhood_p90"
 )
 
 // coreInstruments caches the registry lookups for one routing run so the
@@ -49,9 +51,11 @@ type coreInstruments struct {
 	skipped, downgrades  *obs.Counter
 	memoStores           *obs.Counter
 	idxSearches          *obs.Counter
-	idxCands, idxRings   *obs.Counter
+	idxCands, idxRegions *obs.Counter
 	idxRebuilds          *obs.Counter
 	idxNeighb            *obs.Histogram
+	idxNeighP50          *obs.Gauge
+	idxNeighP90          *obs.Gauge
 	mergeCost            *obs.Histogram
 	heapLen, heapLenMax  *obs.Gauge
 	phaseInit, phaseGrdy *obs.Gauge
@@ -72,13 +76,17 @@ func newCoreInstruments(reg *obs.Registry) *coreInstruments {
 		downgrades: reg.Counter(MetricDowngrades, "fast-path failures recovered via the reference greedy"),
 		memoStores: reg.Counter(MetricMemoStores, "pair costs written into the memo (memo-eligible misses)"),
 		idxSearches: reg.Counter(MetricIdxSearches,
-			"spatial-index expanding-ring searches (best-partner + fold-in)"),
-		idxCands: reg.Counter(MetricIdxCands, "candidates emitted by the spatial index"),
-		idxRings: reg.Counter(MetricIdxRings, "ring expansions beyond each search's home cell"),
+			"spatial-index pyramid searches (best-partner + fold-in)"),
+		idxCands:   reg.Counter(MetricIdxCands, "candidates emitted by the spatial index"),
+		idxRegions: reg.Counter(MetricIdxRegions, "pyramid regions a search entered (survived occupancy + dominance checks)"),
 		idxRebuilds: reg.Counter(MetricIdxRebuilds,
 			"spatial-grid rebuilds after the active set halved"),
 		idxNeighb: reg.Histogram(MetricIdxNeighb,
 			"candidates examined per spatial-index search", obs.ExpBuckets(1, 2, 12)),
+		idxNeighP50: reg.Gauge(MetricIdxNeighP50,
+			"p50 candidates per spatial-index search, latest run (log2-bucket upper bound)"),
+		idxNeighP90: reg.Gauge(MetricIdxNeighP90,
+			"p90 candidates per spatial-index search, latest run (log2-bucket upper bound)"),
 		mergeCost: reg.Histogram(MetricMergeCost, "Equation-3 switched-capacitance cost of selected merges (fF)",
 			obs.ExpBuckets(1, 2, 24)),
 		heapLen:    reg.Gauge(MetricHeapLen, "lazy-deletion pair-heap length after the latest merge"),
@@ -132,16 +140,16 @@ func (r *router) observeMerge(start time.Time, a, b, k *topology.Node, cost floa
 	r.lastEvals, r.lastCached, r.lastSkipped = evals, cached, skipped
 }
 
-// noteSearch folds one finished expanding-ring search into the router's
+// noteSearch folds one finished pyramid search into the router's
 // atomic index accounting: examined is the number of candidates the index
-// emitted, rings the expansions beyond the home cell. Histogram bucket i
+// emitted, regions the pyramid regions entered. Histogram bucket i
 // counts searches with examined ≤ 2^i; counters are flushed to the obs
 // registry per attempt, but the neighborhood histogram is observed live —
 // it is a distribution, not a sum. Safe from parallel scans.
-func (r *router) noteSearch(examined, rings int) {
+func (r *router) noteSearch(examined, regions int) {
 	r.idxSearches.Add(1)
 	r.idxCandidates.Add(int64(examined))
-	r.idxRings.Add(int64(rings))
+	r.idxRegions.Add(int64(regions))
 	b := 0
 	for (1<<b) < examined && b < len(r.idxHist)-1 {
 		b++
@@ -175,8 +183,12 @@ func (r *router) flushInstruments(s Stats) {
 	r.inst.memoStores.Add(int64(s.PairMemoStores))
 	r.inst.idxSearches.Add(int64(s.IndexSearches))
 	r.inst.idxCands.Add(int64(s.IndexCandidates))
-	r.inst.idxRings.Add(int64(s.IndexRingExpansions))
+	r.inst.idxRegions.Add(int64(s.IndexRegionsVisited))
 	r.inst.idxRebuilds.Add(int64(s.IndexRebuilds))
+	if s.IndexSearches > 0 {
+		r.inst.idxNeighP50.Set(int64(s.NeighborhoodQuantile(0.5)))
+		r.inst.idxNeighP90.Set(int64(s.NeighborhoodQuantile(0.9)))
+	}
 	r.inst.phaseInit.Set(s.PhaseInit.Nanoseconds())
 	r.inst.phaseGrdy.Set(s.PhaseGreedy.Nanoseconds())
 	r.inst.phaseEmbed.Set(s.PhaseEmbed.Nanoseconds())

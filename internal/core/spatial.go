@@ -1,10 +1,18 @@
 // The spatial layer of the fast greedy: a uniform grid over merging-segment
-// midpoints in rotated (u, w) coordinates, where Manhattan TRR distance is
-// the Chebyshev metric, so "all nodes within distance d" is a square of
-// grid cells. Best-partner scans become expanding-ring searches that stop
-// as soon as an admissible distance bound proves every unexamined node
-// strictly worse than the running best — the all-pairs candidate
-// generation of bestPartnerPruned collapses to a bounded neighborhood.
+// midpoints in rotated (u, w) coordinates — where Manhattan TRR distance is
+// the Chebyshev metric — topped by a quadtree pyramid of aggregate regions.
+// Best-partner scans become best-first walks down the pyramid that stop as
+// soon as an admissible region bound proves every unexamined node strictly
+// worse than the running best; the all-pairs candidate generation of
+// bestPartnerPruned collapses to a bounded neighborhood whose size no
+// longer grows with the instance.
+//
+// Candidates live in the cells as cache-line-sized records (candRec): the
+// seven floats the hot filter reads travel together, so scanning a cell
+// streams contiguous memory instead of gathering from six flat arrays.
+// The flat arrays are kept as the registration source of truth and as a
+// differential seam — spatialLayoutSoA switches the scan loops back to
+// gathered loads so tests can prove both layouts route bit-identically.
 //
 // Two bound families drive the pruning (both derived in DESIGN.md §11):
 //
@@ -23,7 +31,14 @@
 //     full star cost fGF plus wire at min(P_q, P_m); ungated pays attach
 //     and wire at parentP ≥ P_q. Either way the distance term carries at
 //     least the query's own activity — stop radii no longer depend on the
-//     laziest node in the index, which is what kept them growing with N.
+//     laziest node in the index.
+//
+// Region aggregates (per-region floor minima, radius maxima, monotone
+// best-cost maxima and live occupant counts) are maintained at every
+// pyramid level, so one comparison discards a whole region; the hierarchy
+// is admissible by construction — a parent region's bound never exceeds
+// any child's — which makes the best-first walk's first dominated pop a
+// proof that everything still in the heap is dominated too.
 //
 // Everything here preserves the bit-identity contract of fastpath.go:
 //
@@ -36,6 +51,12 @@
 //     exhaustive scan and the reference greedy.
 //   - All index mutations (insert, remove, rebuild, floor updates) happen
 //     in the serial sections of the merge loop; parallel phases only read.
+//   - The parallel fold-in shards disjoint regions across workers and
+//     reduces their results under the same (cost, then partner ID) order.
+//     A candidate that could become the fold's argmin, tie it, or improve
+//     some best[n] is never pruned under any schedule (its bound can
+//     exceed neither threshold), so the reduced result and the applied
+//     improvements are schedule-independent: Workers=N is bit-identical.
 //
 // Methods whose pair cost has no geometric component (ActivityDriven
 // orders merges by signal probability alone) and tiny or fully degenerate
@@ -45,6 +66,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/gating"
@@ -56,8 +78,21 @@ import (
 // the fault-injection suite keeps exercising the dense-memo path.
 var spatialMinSinks = 128
 
+// spatialLayoutSoA switches the cell-scan loops from the cache-resident
+// candRec fields (AoS) back to gathered loads from the flat per-ID arrays
+// (SoA). Both layouts hold the same immutable values, so routing is
+// bit-identical either way; the seam exists for differential tests and
+// layout benchmarks. Set only between routes (test-only).
+var spatialLayoutSoA = false
+
+// parallelFoldMinAlive gates the sharded fold-in: below this many indexed
+// nodes the serial walk is faster than the fan-out, and small instances
+// keep a single deterministic code path. Package variable so tests can
+// lower it to exercise the parallel fold on small instances.
+var parallelFoldMinAlive = 2048
+
 // usesSpatialIndex reports whether the method's pair cost admits the
-// geometric ring bound the index prunes with. ActivityDriven orders merges
+// geometric bound the index prunes with. ActivityDriven orders merges
 // by the merged signal probability, which no midpoint distance bounds.
 func usesSpatialIndex(m Method) bool {
 	return m == MinSwitchedCap || m == MinClockCapOnly || m == GreedyDistance
@@ -75,81 +110,82 @@ const (
 	polOpaque         // unknown Policy — minimum over both gating arms
 )
 
-// blockShift sizes the coarse blocks of the fold-in improvement sweep:
-// 2^blockShift × 2^blockShift grid cells share one monotone best-cost
-// maximum, so the sweep rules out whole regions with one comparison.
-const blockShift = 4
-
-// spatialIndex buckets live node IDs into a uniform grid over rotated
-// merging-segment midpoints. Out-of-range points (merge midpoints can
-// drift outside the grid built from an earlier population) are clamped to
-// the boundary cells; clamping both query and stored points is a
-// contraction of the Chebyshev metric, so ring distance bounds only
-// under-estimate true separations — admissible, never wrong.
-type spatialIndex struct {
-	minU, minW float64
-	cell       float64   // cell side in rotated units, > 0
-	cols, rows int       // grid dimensions, ≥ 1
-	cells      [][]int32 // cells[cj*cols+ci] = node IDs bucketed there
-	cellOf     []int32   // cellOf[id] = linear cell index, −1 when absent
-	count      int       // nodes currently indexed
-	builtAt    int       // count at the last (re)build; rebuild at ≤ half
-
-	// Floors for the ring bound, valid for every indexed node. Between
-	// rebuilds they are monotone in the safe direction (radii only grow,
-	// cost floors only shrink), so bounds stay admissible as the
-	// population churns; rebuilds retighten them over the survivors.
-	maxRad float64 // max Chebyshev radius of any indexed merging segment
-	zuMin  float64 // min unconditional zero-length-edge floor fZU over indexed nodes
-	wfMin  float64 // min per-λ wire-weight floor over indexed nodes
-	gfMin  float64 // min full gated-edge zero-length cost fGF (star modes)
-	aMin   float64 // min attach capacitance fA of any possibly-ungated node
-
-	// Per-cell minima of the indexed nodes' floor terms (and the maximum
-	// merging-segment radius), monotone in the safe direction between
-	// rebuilds exactly like the index-wide floors: insertion folds minima
-	// in (radii up), removal leaves them stale-but-safe. They let a scan
-	// discard a whole cell with one comparison when even its cheapest
-	// conceivable occupant is dominated — discounting only the radii of
-	// the cell's own occupants, not the global maximum, so one sprawling
-	// merging segment elsewhere cannot loosen every search's rings.
-	cellZuMin  []float64
-	cellWfMin  []float64
-	cellGFMin  []float64
-	cellAMin   []float64
-	cellMaxRad []float64
-
-	// Per-block (2^blockShift × 2^blockShift cells) aggregates: floor
-	// minima maintained like the per-cell ones, plus live occupant counts
-	// so a block discarded with one comparison still accounts its
-	// candidates in the search statistics.
-	bcols, brows int
-	blockZuMin   []float64
-	blockWfMin   []float64
-	blockGFMin   []float64
-	blockAMin    []float64
-	blockMaxRad  []float64
-	blockCount   []int32
-
-	// Monotone per-cell and per-block maxima of best[n].cost, maintained
-	// by noteBest and retightened at rebuilds. They upper-bound every
-	// alive node's cached best cost, letting searches and the fold-in
-	// improvement sweep skip any region whose distance floor already
-	// matches its best.
-	cellMaxBest  []float64
-	blockMaxBest []float64
+// candRec is one indexed candidate, resident in its grid cell: the seven
+// floats the admissible filter reads plus the node ID, padded to one cache
+// line so a cell scan streams exactly len(cell) lines. All fields are
+// immutable copies of the flat per-ID arrays (a node's merging segment and
+// floor terms never change after creation).
+type candRec struct {
+	u, w, rad float64 // rotated MS midpoint and Chebyshev radius
+	zu, wf    float64 // unconditional zero-length floor, per-λ wire weight
+	gf, a     float64 // star modes: gated-arm zero-length cost, ungated-arm attach cap
+	id        int32
+	_         int32 // pad to 64 bytes
 }
 
-// blockOf returns the linear block index of linear cell index c.
-func (x *spatialIndex) blockOf(c int32) int {
-	ci, cj := int(c)%x.cols, int(c)/x.cols
-	return (cj>>blockShift)*x.bcols + ci>>blockShift
+// qlevel is one level of the region pyramid. Level 0 is the cell raster
+// itself; level l aggregates 2^l × 2^l cells per region. Aggregates follow
+// the same monotone-safe maintenance as the old per-cell floors: insertion
+// folds minima in (radii and best costs up), removal leaves them
+// stale-but-safe, rebuilds retighten.
+type qlevel struct {
+	cols, rows int
+	shift      uint // log2 cells per region side
+	agg        []regionAgg
+}
+
+// regionAgg packs one region's aggregates into a single cache line, the
+// region-level mirror of candRec: a bound check (regionLB + the occupancy
+// and dominance tests around it) reads every field, so the walk pays one
+// line per region instead of striding six parallel slices.
+type regionAgg struct {
+	zuMin, wfMin float64
+	gfMin, aMin  float64
+	maxRad       float64 // max MS Chebyshev radius of any occupant
+	maxBest      float64 // monotone max of cached best[n].cost over occupants
+	count        int32   // live occupants
+	_            int32
+	_            int64 // pad to 64 bytes
+}
+
+// spatialScratch pools every allocation the grid needs across rebuilds:
+// one aggregate slab for all regions of all levels, plus the cell headers,
+// record slabs and the parallel fold-in's frontier list. Owned by one
+// greedyState; rebuilds recycle it, so O(log n) rebuilds cost O(1)
+// steady-state allocations.
+type spatialScratch struct {
+	agg      []regionAgg
+	cellOf   []int32
+	cells    [][]candRec
+	cellCnt  []int32
+	recs     []candRec
+	frontier []int32
+	levels   []qlevel
+}
+
+// spatialIndex buckets live nodes into a uniform grid over rotated
+// merging-segment midpoints, with the region pyramid on top. Out-of-range
+// points (merge midpoints can drift outside the grid built from an earlier
+// population) are clamped to the boundary cells; clamping both query and
+// stored points is a contraction of the Chebyshev metric, so distance
+// bounds only under-estimate true separations — admissible, never wrong.
+type spatialIndex struct {
+	minU, minW float64
+	cell       float64 // cell side in rotated units, > 0
+	cols, rows int     // grid dimensions, ≥ 1
+	cells      [][]candRec
+	cellOf     []int32 // cellOf[id] = linear cell index, −1 when absent
+	count      int     // nodes currently indexed
+	builtAt    int     // count at the last (re)build; rebuild at ≤ half
+	levels     []qlevel
+	scr        *spatialScratch
 }
 
 // newSpatialGrid sizes a grid for n nodes spanning the given rotated
-// bounding box, aiming for ~2 nodes per cell on a square cell raster. A
-// degenerate (zero-span) box collapses to a single cell.
-func newSpatialGrid(capIDs int, minU, maxU, minW, maxW float64, n int) *spatialIndex {
+// bounding box, aiming for ~2 nodes per cell on a square cell raster, and
+// builds the region pyramid up to a ≤2×2 top. A degenerate (zero-span) box
+// collapses to a single cell. All backing arrays are carved from scr.
+func newSpatialGrid(scr *spatialScratch, capIDs int, minU, maxU, minW, maxW float64, n int) *spatialIndex {
 	span := math.Max(maxU-minU, maxW-minW)
 	cell := 1.0
 	if span > 0 {
@@ -161,48 +197,48 @@ func newSpatialGrid(capIDs int, minU, maxU, minW, maxW float64, n int) *spatialI
 	}
 	cols := int((maxU-minU)/cell) + 1
 	rows := int((maxW-minW)/cell) + 1
-	side := 1 << blockShift
-	bcols := (cols + side - 1) / side
-	brows := (rows + side - 1) / side
-	x := &spatialIndex{
-		minU: minU, minW: minW, cell: cell, cols: cols, rows: rows,
-		cells:        make([][]int32, cols*rows),
-		cellOf:       make([]int32, capIDs),
-		zuMin:        math.Inf(1),
-		wfMin:        math.Inf(1),
-		gfMin:        math.Inf(1),
-		aMin:         math.Inf(1),
-		cellZuMin:    make([]float64, cols*rows),
-		cellWfMin:    make([]float64, cols*rows),
-		cellGFMin:    make([]float64, cols*rows),
-		cellAMin:     make([]float64, cols*rows),
-		cellMaxRad:   make([]float64, cols*rows),
-		cellMaxBest:  make([]float64, cols*rows),
-		bcols:        bcols,
-		brows:        brows,
-		blockZuMin:   make([]float64, bcols*brows),
-		blockWfMin:   make([]float64, bcols*brows),
-		blockGFMin:   make([]float64, bcols*brows),
-		blockAMin:    make([]float64, bcols*brows),
-		blockMaxRad:  make([]float64, bcols*brows),
-		blockCount:   make([]int32, bcols*brows),
-		blockMaxBest: make([]float64, bcols*brows),
+	x := &spatialIndex{minU: minU, minW: minW, cell: cell, cols: cols, rows: rows, scr: scr}
+
+	lv := scr.levels[:0]
+	lv = append(lv, qlevel{cols: cols, rows: rows, shift: 0})
+	for lv[len(lv)-1].cols > 2 || lv[len(lv)-1].rows > 2 {
+		s := uint(len(lv))
+		lv = append(lv, qlevel{cols: ((cols - 1) >> s) + 1, rows: ((rows - 1) >> s) + 1, shift: s})
 	}
+	totalR := 0
+	for i := range lv {
+		totalR += lv[i].cols * lv[i].rows
+	}
+	if cap(scr.agg) < totalR {
+		scr.agg = make([]regionAgg, totalR)
+	}
+	agg := scr.agg[:totalR]
+	inf := math.Inf(1)
+	off := 0
+	for i := range lv {
+		r := lv[i].cols * lv[i].rows
+		lv[i].agg = agg[off : off+r : off+r]
+		off += r
+		for j := 0; j < r; j++ {
+			lv[i].agg[j] = regionAgg{zuMin: inf, wfMin: inf, gfMin: inf, aMin: inf}
+		}
+	}
+	scr.levels = lv
+	x.levels = lv
+
+	if cap(scr.cellOf) < capIDs {
+		scr.cellOf = make([]int32, capIDs)
+	}
+	x.cellOf = scr.cellOf[:capIDs]
 	for i := range x.cellOf {
 		x.cellOf[i] = -1
 	}
-	inf := math.Inf(1)
-	for i := range x.cellZuMin {
-		x.cellZuMin[i] = inf
-		x.cellWfMin[i] = inf
-		x.cellGFMin[i] = inf
-		x.cellAMin[i] = inf
+	if cap(scr.cells) < cols*rows {
+		scr.cells = make([][]candRec, cols*rows)
 	}
-	for i := range x.blockZuMin {
-		x.blockZuMin[i] = inf
-		x.blockWfMin[i] = inf
-		x.blockGFMin[i] = inf
-		x.blockAMin[i] = inf
+	x.cells = scr.cells[:cols*rows]
+	for i := range x.cells {
+		x.cells[i] = nil
 	}
 	return x
 }
@@ -225,155 +261,165 @@ func (x *spatialIndex) coords(u, w float64) (ci, cj int) {
 	return ci, cj
 }
 
-func (x *spatialIndex) insert(id int32, u, w float64) {
-	ci, cj := x.coords(u, w)
+// insert buckets rec into its cell and folds its floor terms into the
+// aggregates of every pyramid level — minima only shrink and maxima only
+// grow, so parent bounds never exceed a child's (the hierarchy the
+// best-first walk's early stop relies on). Serial sections only.
+func (x *spatialIndex) insert(rec candRec) {
+	ci, cj := x.coords(rec.u, rec.w)
 	c := cj*x.cols + ci
-	x.cellOf[id] = int32(c)
-	x.cells[c] = append(x.cells[c], id)
-	x.blockCount[(cj>>blockShift)*x.bcols+ci>>blockShift]++
+	x.cellOf[rec.id] = int32(c)
+	x.cells[c] = append(x.cells[c], rec)
+	for l := range x.levels {
+		lv := &x.levels[l]
+		ag := &lv.agg[(cj>>lv.shift)*lv.cols+ci>>lv.shift]
+		ag.count++
+		if rec.zu < ag.zuMin {
+			ag.zuMin = rec.zu
+		}
+		if rec.wf < ag.wfMin {
+			ag.wfMin = rec.wf
+		}
+		if rec.gf < ag.gfMin {
+			ag.gfMin = rec.gf
+		}
+		if rec.a < ag.aMin {
+			ag.aMin = rec.a
+		}
+		if rec.rad > ag.maxRad {
+			ag.maxRad = rec.rad
+		}
+	}
 	x.count++
 }
 
-// remove deletes id from its cell by swap-removal. In-cell order is not
-// part of the contract: searches take an order-independent argmin.
+// remove deletes id from its cell by swap-removal and decrements the live
+// counts. Floor minima and radius maxima stay stale-but-safe (same
+// monotone direction as ever); rebuilds retighten them. In-cell order is
+// not part of the contract: scans take an order-independent argmin.
 func (x *spatialIndex) remove(id int32) {
 	c := x.cellOf[id]
 	if c < 0 {
 		return
 	}
 	s := x.cells[c]
-	for i, v := range s {
-		if v == id {
+	for i := range s {
+		if s[i].id == id {
 			s[i] = s[len(s)-1]
 			x.cells[c] = s[:len(s)-1]
 			break
 		}
 	}
 	x.cellOf[id] = -1
-	x.blockCount[x.blockOf(c)]--
+	ci, cj := int(c)%x.cols, int(c)/x.cols
+	for l := range x.levels {
+		lv := &x.levels[l]
+		lv.agg[(cj>>lv.shift)*lv.cols+ci>>lv.shift].count--
+	}
 	x.count--
 }
 
-// noteBest folds a freshly cached best cost into the monotone per-cell and
-// per-block maxima. Serial sections only (called from setBest).
+// noteBest folds a freshly cached best cost into the monotone per-region
+// maxima, bottom level up. Once a level already holds ≥ cost, every level
+// above does too (parent maxima dominate children by construction), so the
+// fold stops early. Serial sections only (called from setBest).
 func (x *spatialIndex) noteBest(id int32, cost float64) {
 	c := x.cellOf[id]
-	if c < 0 || cost <= x.cellMaxBest[c] {
+	if c < 0 {
 		return
 	}
-	x.cellMaxBest[c] = cost
-	if b := x.blockOf(c); cost > x.blockMaxBest[b] {
-		x.blockMaxBest[b] = cost
+	ci, cj := int(c)%x.cols, int(c)/x.cols
+	for l := range x.levels {
+		lv := &x.levels[l]
+		ag := &lv.agg[(cj>>lv.shift)*lv.cols+ci>>lv.shift]
+		if cost <= ag.maxBest {
+			return
+		}
+		ag.maxBest = cost
 	}
 }
 
-// maxBlockRing returns the largest block-ring radius around block
-// (bi, bj) that still intersects the grid — the exhaustion bound of an
-// expanding block-ring search.
-func (x *spatialIndex) maxBlockRing(bi, bj int) int {
-	return max(max(bi, x.bcols-1-bi), max(bj, x.brows-1-bj))
+// queryCtx is the hoisted query side of the admissible candidate filter:
+// everything a region bound or per-candidate bound needs from the
+// searching node, loaded once per search.
+type queryCtx struct {
+	q        int32
+	qci, qcj int // query's (clamped) grid cell
+	qU, qW   float64
+	qRad     float64
+	qZU, qWf float64
+	distMode bool
+	starMode bool
+	cWire    float64
 }
 
-// visitRing calls fn with the linear index of every cell at Chebyshev grid
-// distance exactly r from (ci, cj), clipped to the grid. Each cell is
-// visited once.
-func (x *spatialIndex) visitRing(ci, cj, r int, fn func(c int)) {
-	if r == 0 {
-		fn(cj*x.cols + ci)
-		return
-	}
-	lo, hi := ci-r, ci+r
-	cl, ch := max(lo, 0), min(hi, x.cols-1)
-	for _, j := range [2]int{cj - r, cj + r} {
-		if j < 0 || j >= x.rows {
-			continue
-		}
-		row := j * x.cols
-		for i := cl; i <= ch; i++ {
-			fn(row + i)
-		}
-	}
-	jl, jh := max(cj-r+1, 0), min(cj+r-1, x.rows-1)
-	for _, i := range [2]int{lo, hi} {
-		if i < 0 || i >= x.cols {
-			continue
-		}
-		for j := jl; j <= jh; j++ {
-			fn(j*x.cols + i)
-		}
+func (g *greedyState) makeQuery(q int) queryCtx {
+	ci, cj := g.idx.coords(g.fU[q], g.fW[q])
+	return queryCtx{
+		q: int32(q), qci: ci, qcj: cj,
+		qU: g.fU[q], qW: g.fW[q], qRad: g.fRad[q],
+		qZU: g.fZU[q], qWf: g.fWf[q],
+		distMode: g.polMode == polDist,
+		starMode: g.polMode >= polAll,
+		cWire:    g.cWire,
 	}
 }
 
-// visitBlockRing calls fn with the block coordinates of every block at
-// Chebyshev block distance exactly r from (bi, bj), clipped to the grid.
-// Each block is visited once.
-func (x *spatialIndex) visitBlockRing(bi, bj, r int, fn func(bi, bj int)) {
-	if r == 0 {
-		fn(bi, bj)
-		return
-	}
-	lo, hi := bi-r, bi+r
-	cl, ch := max(lo, 0), min(hi, x.bcols-1)
-	for _, j := range [2]int{bj - r, bj + r} {
-		if j < 0 || j >= x.brows {
-			continue
-		}
-		for i := cl; i <= ch; i++ {
-			fn(i, j)
-		}
-	}
-	jl, jh := max(bj-r+1, 0), min(bj+r-1, x.brows-1)
-	for _, i := range [2]int{lo, hi} {
-		if i < 0 || i >= x.bcols {
-			continue
-		}
-		for j := jl; j <= jh; j++ {
-			fn(i, j)
-		}
-	}
+// regionBD returns the Chebyshev grid-cell distance from the query's cell
+// to the nearest cell of region rg at level l.
+func (x *spatialIndex) regionBD(qc *queryCtx, l int, rg int32) int {
+	lv := &x.levels[l]
+	ri, rj := int(rg)%lv.cols, int(rg)/lv.cols
+	side := 1 << lv.shift
+	iLo, jLo := ri<<lv.shift, rj<<lv.shift
+	iHi := min(iLo+side-1, x.cols-1)
+	jHi := min(jLo+side-1, x.rows-1)
+	return max(axisDist(qc.qci, iLo, iHi), axisDist(qc.qcj, jLo, jHi))
 }
 
-// ringFloor returns the minimum rotated-frame center distance of any node
-// outside the completed ring r of a search whose query has Chebyshev
-// radius rad, discounted by the largest indexed radius — a lower bound on
-// the merging-segment distance of every unexamined candidate.
-func (x *spatialIndex) ringFloor(r int, rad float64) float64 {
-	d := float64(r)*x.cell - rad - x.maxRad
-	if d < 0 {
-		return 0
+// regionLB lower-bounds pairCost(q, m) for every occupant m of region rg,
+// given the region's grid distance bd (the caller already computed it for
+// the nearest-first ordering — bounds are never paid twice per region)
+// at level l: an occupant of a cell at grid distance bd sits at center
+// distance ≥ (bd−1)·cell, discounted by the query's radius and the
+// region's own maximum occupant radius — the same admissible form as the
+// per-candidate filter, evaluated against the region's floor minima. A
+// NaN (an ∞ arm multiplied by a zero activity weight) carries no
+// information and collapses to 0, which is always admissible — this
+// matters because the best-first walk *orders* by these bounds and breaks
+// on the first dominated pop; an unsanitized NaN could mis-sort a region
+// holding finite candidates.
+func (x *spatialIndex) regionLB(qc *queryCtx, l int, rg int32, bd int) float64 {
+	ag := &x.levels[l].agg[rg]
+	dlb := float64(bd-1)*x.cell - qc.qRad - ag.maxRad
+	if dlb < 0 {
+		dlb = 0
 	}
-	return d
-}
-
-// ringLBFlat lower-bounds the pair cost of a search's query node (with
-// zero-length floor zSelf and wire weight qWf) against any indexed partner
-// at merging-segment distance ≥ d. GreedyDistance costs are the distance
-// itself; the classic capacitance modes charge the unavoidable joining
-// wire at the index-wide minimum per-λ weight. The star modes take the
-// two-arm minimum over the cheapest conceivable partner: a gated partner
-// edge pays at least the index-wide minimum full gated cost gfMin, while
-// an ungated partner edge is charged at parentP ≥ P(query) — both its
-// attach capacitance and the whole joining wire then carry the query's
-// own activity, which keeps the stop radius of high-activity searches
-// independent of how lazy the laziest node in the index is.
-func (g *greedyState) ringLBFlat(zSelf, qWf, d float64) float64 {
-	idx := g.idx
+	var lb float64
 	switch {
-	case g.polMode == polDist:
-		return d
-	case g.polMode >= polAll:
-		wf := qWf
-		if idx.wfMin < wf {
-			wf = idx.wfMin
+	case qc.distMode:
+		return dlb
+	case qc.starMode:
+		wf := qc.qWf
+		if ag.wfMin < wf {
+			wf = ag.wfMin
 		}
-		lb := idx.gfMin + g.cWire*d*wf
-		if u := idx.aMin*qWf + g.cWire*d*qWf; u < lb {
+		lb = ag.gfMin + qc.cWire*dlb*wf
+		if u := (ag.aMin + qc.cWire*dlb) * qc.qWf; u < lb {
 			lb = u
 		}
-		return zSelf + lb
+		lb += qc.qZU
 	default:
-		return zSelf + idx.zuMin + g.cWire*d*idx.wfMin
+		wf := qc.qWf
+		if ag.wfMin < wf {
+			wf = ag.wfMin
+		}
+		lb = qc.qZU + ag.zuMin + qc.cWire*dlb*wf
 	}
+	if math.IsNaN(lb) {
+		return 0
+	}
+	return lb
 }
 
 // candFloor returns an admissible lower bound on pairCost(q, m) from the
@@ -386,8 +432,8 @@ func (g *greedyState) ringLBFlat(zSelf, qWf, d float64) float64 {
 // rules out carry +Inf in fGF/fA and drop out of the minimum. Runs before
 // the memo probe — pruning a memoized candidate is harmless, because the
 // bound proves its cached cost loses the argmin anyway. This is the
-// reference form of the filter both search closures inline. Read-only;
-// safe from parallel scans.
+// reference form of the filter both cell-scan loops inline (regionLB is
+// its region-aggregate form). Read-only; safe from parallel scans.
 func (g *greedyState) candFloor(q, m int) float64 {
 	du := g.fU[q] - g.fU[m]
 	if du < 0 {
@@ -432,8 +478,9 @@ func (g *greedyState) candFloor(q, m int) float64 {
 
 // attachIndex decides whether this instance takes the indexed path and, if
 // so, builds the grid over the initial sinks, resolves the gating-policy
-// mode of the flat candidate filter, and switches the greedy state to
-// per-neighborhood memo rows. Degenerate instances (all sinks at one
+// mode of the flat candidate filter, switches the greedy state to
+// per-neighborhood memo rows, and lays out the per-worker search scratch
+// and the memo/dependent slabs. Degenerate instances (all sinks at one
 // rotated midpoint) stay on the exhaustive path.
 func (r *router) attachIndex(g *greedyState, sinks []*topology.Node) {
 	if !usesSpatialIndex(r.opts.Method) || len(sinks) < spatialMinSinks {
@@ -468,7 +515,6 @@ func (r *router) attachIndex(g *greedyState, sinks []*topology.Node) {
 		}
 	}
 	capIDs := len(g.byID)
-	g.idx = newSpatialGrid(capIDs, minU, maxU, minW, maxW, len(sinks))
 	g.rows = make([][]memoEntry, capIDs)
 	g.deps = make([][]int32, capIDs)
 	g.depPos = make([]int32, capIDs)
@@ -479,20 +525,52 @@ func (r *router) attachIndex(g *greedyState, sinks []*topology.Node) {
 	g.fWf = make([]float64, capIDs)
 	g.fGF = make([]float64, capIDs)
 	g.fA = make([]float64, capIDs)
-	for _, n := range sinks {
-		r.indexAdd(g, n)
+	// Row and dependent-list slabs: one contiguous carve per sink (merge
+	// nodes recycle freed rows first), three-index capped so append growth
+	// reallocates off-slab instead of aliasing a neighbor.
+	g.rowSlab = make([]memoEntry, len(sinks)*memoRowInit)
+	g.depSlab = make([]int32, len(sinks)*depInit)
+	w := r.workers
+	if w < 1 {
+		w = 1
 	}
+	g.scratch = make([]searchScratch, w)
+	g.gridScr = &spatialScratch{}
+	// Hoisted once: the parallel fold-in's shard body. Each item resets the
+	// worker's walker to the probe seed, walks one frontier region, and
+	// folds the result into the worker accumulator — so every pruning
+	// decision depends only on the item, never on which worker ran it.
+	g.shardFn = func(i, wk int) error {
+		fw := &g.scratch[wk].fold
+		fw.ck, fw.found = g.foldSeed, true
+		rg := g.idx.scr.frontier[i]
+		fw.region(g.foldLevel, rg, g.idx.regionBD(&fw.qc, g.foldLevel, rg))
+		if fw.err != nil {
+			return fw.err
+		}
+		if c := fw.ck; c.cost < fw.ckAcc.cost ||
+			(c.cost == fw.ckAcc.cost && c.partner.ID < fw.ckAcc.partner.ID) {
+			fw.ckAcc = c
+		}
+		return nil
+	}
+	for _, n := range sinks {
+		r.indexRegister(g, n)
+		g.assignRow(n.ID)
+		g.assignDeps(n.ID)
+	}
+	g.idx = newSpatialGrid(g.gridScr, capIDs, minU, maxU, minW, maxW, len(sinks))
+	g.populateIndex()
 	g.idx.builtAt = g.idx.count
 }
 
-// indexAdd registers a node with the index: grid insertion, the flat-array
-// views of its immutable floor terms, index-wide floor updates (monotone
-// in the admissible direction) and its pooled memo and reverse-dependent
-// rows. The unconditional zero-length floor fZU is AttachCap·P — what both
-// gating arms dominate — upgraded to the full gated-edge cost including
-// the control star whenever the edge is certainly gated: always under
-// gating.All, and under gating.Reduction when Cap ≥ ForceCap makes the
-// forced-insertion rule fire at any merge distance.
+// indexRegister fills the flat per-ID filter views of node n: rotated
+// merging-segment key, floor terms, and the star modes' per-arm partner
+// floors. The unconditional zero-length floor fZU is AttachCap·P — what
+// both gating arms dominate — upgraded to the full gated-edge cost
+// including the control star whenever the edge is certainly gated: always
+// under gating.All, and under gating.Reduction when Cap ≥ ForceCap makes
+// the forced-insertion rule fire at any merge distance.
 //
 // The star modes additionally split the node's floor by gating arm. fGF
 // is the exact zero-length cost of a gated edge into the node — Equation 3
@@ -501,7 +579,7 @@ func (r *router) attachIndex(g *greedyState, sinks []*topology.Node) {
 // multiplier of parentP. An arm the mode rules out holds +Inf: a
 // certainly-gated edge has no ungated arm (fA), gating.None has no gated
 // one (fGF). Serial sections only.
-func (r *router) indexAdd(g *greedyState, n *topology.Node) {
+func (r *router) indexRegister(g *greedyState, n *topology.Node) {
 	id := n.ID
 	u, w, rad := n.MSKey()
 	g.fU[id], g.fW[id], g.fRad[id] = u, w, rad
@@ -520,70 +598,79 @@ func (r *router) indexAdd(g *greedyState, n *topology.Node) {
 			g.fA[id] = n.AttachCap // the ungated arm stays possible
 		}
 	}
-	g.indexEnter(int32(id))
-	g.assignRow(id)
-	g.assignDeps(id)
 }
 
-// indexEnter inserts an already-registered node into the current grid and
-// folds its flat-array terms into the index-wide floors.
+// indexAdd registers a fresh merge node and enters it into the live grid
+// with its pooled memo and reverse-dependent rows. Serial sections only.
+func (r *router) indexAdd(g *greedyState, n *topology.Node) {
+	r.indexRegister(g, n)
+	g.indexEnter(int32(n.ID))
+	g.assignRow(n.ID)
+	g.assignDeps(n.ID)
+}
+
+// indexEnter inserts an already-registered node into the current grid as a
+// cache-line record built from its flat-array terms.
 func (g *greedyState) indexEnter(id int32) {
+	g.idx.insert(candRec{
+		u: g.fU[id], w: g.fW[id], rad: g.fRad[id],
+		zu: g.fZU[id], wf: g.fWf[id],
+		gf: g.fGF[id], a: g.fA[id],
+		id: id,
+	})
+}
+
+// populateIndex bulk-loads every alive node into a freshly built grid.
+// Cell record arrays are carved from one slab, each with one spare slot so
+// the next post-build insert into the cell stays in place; a cell that
+// outgrows its carve reallocates off-slab, never aliasing a neighbor.
+func (g *greedyState) populateIndex() {
 	idx := g.idx
-	idx.insert(id, g.fU[id], g.fW[id])
-	rad := g.fRad[id]
-	if rad > idx.maxRad {
-		idx.maxRad = rad
+	scr := idx.scr
+	nc := idx.cols * idx.rows
+	if cap(scr.cellCnt) < nc {
+		scr.cellCnt = make([]int32, nc)
 	}
-	if g.fZU[id] < idx.zuMin {
-		idx.zuMin = g.fZU[id]
+	cnt := scr.cellCnt[:nc]
+	for i := range cnt {
+		cnt[i] = 0
 	}
-	if g.fWf[id] < idx.wfMin {
-		idx.wfMin = g.fWf[id]
+	total := 0
+	for id, ok := range g.alive {
+		if !ok {
+			continue
+		}
+		ci, cj := idx.coords(g.fU[id], g.fW[id])
+		cnt[cj*idx.cols+ci]++
+		total++
 	}
-	if g.fGF[id] < idx.gfMin {
-		idx.gfMin = g.fGF[id]
+	need := total + nc
+	if cap(scr.recs) < need {
+		scr.recs = make([]candRec, need)
 	}
-	if g.fA[id] < idx.aMin {
-		idx.aMin = g.fA[id]
+	recs := scr.recs[:need]
+	off := 0
+	for c, n := range cnt {
+		if n == 0 {
+			continue
+		}
+		end := off + int(n) + 1
+		idx.cells[c] = recs[off:off:end]
+		off = end
 	}
-	c := idx.cellOf[id]
-	if g.fZU[id] < idx.cellZuMin[c] {
-		idx.cellZuMin[c] = g.fZU[id]
-	}
-	if g.fWf[id] < idx.cellWfMin[c] {
-		idx.cellWfMin[c] = g.fWf[id]
-	}
-	if g.fGF[id] < idx.cellGFMin[c] {
-		idx.cellGFMin[c] = g.fGF[id]
-	}
-	if g.fA[id] < idx.cellAMin[c] {
-		idx.cellAMin[c] = g.fA[id]
-	}
-	if rad > idx.cellMaxRad[c] {
-		idx.cellMaxRad[c] = rad
-	}
-	b := idx.blockOf(c)
-	if g.fZU[id] < idx.blockZuMin[b] {
-		idx.blockZuMin[b] = g.fZU[id]
-	}
-	if g.fWf[id] < idx.blockWfMin[b] {
-		idx.blockWfMin[b] = g.fWf[id]
-	}
-	if g.fGF[id] < idx.blockGFMin[b] {
-		idx.blockGFMin[b] = g.fGF[id]
-	}
-	if g.fA[id] < idx.blockAMin[b] {
-		idx.blockAMin[b] = g.fA[id]
-	}
-	if rad > idx.blockMaxRad[b] {
-		idx.blockMaxRad[b] = rad
+	for id, ok := range g.alive {
+		if !ok {
+			continue
+		}
+		g.indexEnter(int32(id))
 	}
 }
 
 // rebuildIndex rebuilds the grid over the surviving nodes once the
 // population has halved, restoring ~2 nodes per cell and retightening the
-// floors, the best-cost maxima and the maxBestUB fold-in bound that
-// loosened monotonically since the last build. Triggered O(log n) times.
+// floors and best-cost maxima that loosened monotonically since the last
+// build. Triggered O(log n) times; all backing arrays recycle through the
+// grid scratch.
 func (r *router) rebuildIndex(g *greedyState) {
 	minU, maxU := math.Inf(1), math.Inf(-1)
 	minW, maxW := math.Inf(1), math.Inf(-1)
@@ -596,598 +683,629 @@ func (r *router) rebuildIndex(g *greedyState) {
 		minU, maxU = math.Min(minU, g.fU[id]), math.Max(maxU, g.fU[id])
 		minW, maxW = math.Min(minW, g.fW[id]), math.Max(maxW, g.fW[id])
 	}
-	g.idx = newSpatialGrid(len(g.byID), minU, maxU, minW, maxW, survivors)
-	g.idx.builtAt = survivors
-	ub := 0.0
+	g.idx = newSpatialGrid(g.gridScr, len(g.byID), minU, maxU, minW, maxW, survivors)
+	g.populateIndex()
+	g.idx.builtAt = g.idx.count
 	for id, ok := range g.alive {
 		if !ok {
 			continue
 		}
-		g.indexEnter(int32(id))
 		if c := g.best[id].cost; c > 0 {
 			g.idx.noteBest(int32(id), c)
-			if c > ub {
-				ub = c
-			}
 		}
 	}
-	g.maxBestUB = ub
 	r.stats.IndexRebuilds++
 }
 
-// bestPartnerIndexed is bestPartnerPruned driven by the spatial index: an
-// expanding-ring search that examines candidates cell by cell and stops
-// once the ring floor proves every unexamined node strictly worse than the
-// running best. Candidates inside the rings go through the flat admissible
-// filter, the memo and the gated bound, under the same (cost, then partner
-// ID) argmin as the exhaustive scan; strict-dominance pruning never
-// discards a potential tie, so the returned cand is bit-identical to the
-// exhaustive one. Safe to call concurrently for distinct n; the index is
-// read-only here.
-func (r *router) bestPartnerIndexed(g *greedyState, n *topology.Node) (cand, error) {
-	idx := g.idx
-	q := n.ID
-	rad := g.fRad[q]
-	ci, cj := idx.coords(g.fU[q], g.fW[q])
-	out := cand{}
-	found := false
-	examined, rings := 0, 0
-	var skipped, cached int64
-	var scanErr error
-	// Query-side terms of the candidate floor, hoisted so the hot loop is
-	// pure array arithmetic (candFloor itself is beyond the inliner's
-	// budget; this is its body with q-indexed loads lifted out).
-	qU, qW, qRad := g.fU[q], g.fW[q], g.fRad[q]
-	qZU, qWf := g.fZU[q], g.fWf[q]
-	distMode, starMode, cWire := g.polMode == polDist, g.polMode >= polAll, g.cWire
-	zSelf := qZU
-	if distMode {
-		zSelf = 0
-	}
-	fU, fW, fRad, fZU, fWf := g.fU, g.fW, g.fRad, g.fZU, g.fWf
-	fGF, fA := g.fGF, g.fA
-	// df is the current ring's base center distance (set per ring below,
-	// before discounting any merging-segment radius): an occupant of a cell
-	// in that ring sits at MS distance ≥ df − cellMaxRad, so even its
-	// cheapest conceivable form of candFloor discards the whole cell with
-	// one comparison — without the global-maxRad discount that would let a
-	// single giant segment elsewhere loosen every search.
-	df := 0.0
-	scan := func(c int) {
-		if scanErr != nil {
-			return
-		}
-		ids := idx.cells[c]
-		if len(ids) == 0 {
-			return
-		}
-		if found && !distMode {
-			dfc := df - idx.cellMaxRad[c]
-			if dfc < 0 {
-				dfc = 0
-			}
-			var lbc float64
-			if starMode {
-				wf := qWf
-				if idx.cellWfMin[c] < wf {
-					wf = idx.cellWfMin[c]
-				}
-				lbc = idx.cellGFMin[c] + cWire*dfc*wf
-				if u := (idx.cellAMin[c] + cWire*dfc) * qWf; u < lbc {
-					lbc = u
-				}
-				lbc += qZU
-			} else {
-				// The joining wire may ride the query's edge, so its weight
-				// floor must also cover qWf, not just the cell's occupants.
-				wf := qWf
-				if idx.cellWfMin[c] < wf {
-					wf = idx.cellWfMin[c]
-				}
-				lbc = qZU + idx.cellZuMin[c] + cWire*dfc*wf
-			}
-			if dominated(lbc, out.cost) {
-				examined += len(ids)
-				skipped += int64(len(ids))
-				return
-			}
-		}
-		for _, id := range ids {
-			if int(id) == q {
-				continue
-			}
-			examined++
-			if found {
-				du := qU - fU[id]
-				if du < 0 {
-					du = -du
-				}
-				if dw := qW - fW[id]; dw > du {
-					du = dw
-				} else if -dw > du {
-					du = -dw
-				}
-				dlb := du - qRad - fRad[id]
-				if dlb < 0 {
-					dlb = 0
-				}
-				lb := dlb
-				if starMode {
-					wf := qWf
-					if fWf[id] < wf {
-						wf = fWf[id]
-					}
-					lb = fGF[id] + cWire*dlb*wf
-					pm := qWf
-					if fWf[id] > pm {
-						pm = fWf[id]
-					}
-					if u := fA[id]*pm + cWire*dlb*qWf; u < lb {
-						lb = u
-					}
-					lb += qZU
-				} else if !distMode {
-					wf := qWf
-					if fWf[id] < wf {
-						wf = fWf[id]
-					}
-					lb = qZU + fZU[id] + cWire*dlb*wf
-				}
-				if dominated(lb, out.cost) {
-					skipped++
-					continue
-				}
-			}
-			m := g.byID[id]
-			var cost float64
-			if c, ok := g.memoGet(q, int(id)); ok {
-				cached++
-				cost = g.fi.MemoCost(c)
-				if !(cost >= 0) {
-					scanErr = invariantf("memo row %d[%d] holds impossible cost %v",
-						q, id, cost)
-					return
-				}
-			} else {
-				thr := math.Inf(1)
-				if found {
-					thr = out.cost
-				}
-				c, pruned, err := r.pairCostGated(n, m, thr)
-				if err != nil {
-					scanErr = err
-					return
-				}
-				if pruned {
-					skipped++
-					continue
-				}
-				g.memoSet(q, int(id), c)
-				cost = c
-			}
-			if !found || cost < out.cost || (cost == out.cost && m.ID < out.partner.ID) {
-				out = cand{partner: m, cost: cost}
-				found = true
-			}
-		}
-	}
-	// Near field first: cell rings expand in distance order, so the running
-	// best tightens as fast as possible and the per-ring stop fires at cell
-	// granularity. Covers every cell within side−1 of the query.
-	side := 1 << blockShift
-	stopped := false
-	for ring := 0; ring < side; ring++ {
-		df = float64(ring-1)*idx.cell - rad
-		idx.visitRing(ci, cj, ring, scan)
-		if scanErr != nil {
-			return cand{}, scanErr
-		}
-		if ring > 0 {
-			rings++
-		}
-		if found && dominated(g.ringLBFlat(zSelf, qWf, idx.ringFloor(ring, rad)), out.cost) {
-			stopped = true
-			break
-		}
-	}
-	// Far field in block rings: a block at Chebyshev block distance k ≥ 1
-	// holds only cells at cell distance ≥ (k−1)·side+1, so even its
-	// cheapest conceivable occupant pays the block floor at that distance —
-	// one comparison discards the whole block, which is what keeps
-	// far-field scan cost sublinear. Cells already covered by the near
-	// rings are excluded from descended blocks.
-	scanBlock := func(bi, bj int) {
-		if scanErr != nil {
-			return
-		}
-		b := bj*idx.bcols + bi
-		if idx.blockCount[b] == 0 {
-			return
-		}
-		iLo, jLo := bi<<blockShift, bj<<blockShift
-		iHi, jHi := min(iLo+side-1, idx.cols-1), min(jLo+side-1, idx.rows-1)
-		bd := max(axisDist(ci, iLo, iHi), axisDist(cj, jLo, jHi))
-		if found && !distMode {
-			bdf := float64(bd-1)*idx.cell - rad - idx.blockMaxRad[b]
-			if bdf < 0 {
-				bdf = 0
-			}
-			var lbb float64
-			if starMode {
-				wf := qWf
-				if idx.blockWfMin[b] < wf {
-					wf = idx.blockWfMin[b]
-				}
-				lbb = idx.blockGFMin[b] + cWire*bdf*wf
-				if u := (idx.blockAMin[b] + cWire*bdf) * qWf; u < lbb {
-					lbb = u
-				}
-				lbb += qZU
-			} else {
-				// Same qWf guard as the cell check: the wire may be charged
-				// at the query's own weight.
-				wf := qWf
-				if idx.blockWfMin[b] < wf {
-					wf = idx.blockWfMin[b]
-				}
-				lbb = qZU + idx.blockZuMin[b] + cWire*bdf*wf
-			}
-			if dominated(lbb, out.cost) {
-				examined += int(idx.blockCount[b])
-				skipped += int64(idx.blockCount[b])
-				return
-			}
-		}
-		for j := jLo; j <= jHi; j++ {
-			for i := iLo; i <= iHi; i++ {
-				cd := max(absInt(i-ci), absInt(j-cj))
-				if cd < side {
-					continue
-				}
-				df = float64(cd-1)*idx.cell - rad
-				scan(j*idx.cols + i)
-			}
-		}
-	}
-	if !stopped {
-		bi0, bj0 := ci>>blockShift, cj>>blockShift
-		lastB := idx.maxBlockRing(bi0, bj0)
-		for bring := 1; bring <= lastB; bring++ {
-			idx.visitBlockRing(bi0, bj0, bring, scanBlock)
-			if scanErr != nil {
-				return cand{}, scanErr
-			}
-			rings++
-			if found && dominated(g.ringLBFlat(zSelf, qWf, idx.ringFloor(bring<<blockShift, rad)), out.cost) {
-				break
-			}
-		}
-	}
-	r.pairSkipped.Add(skipped)
-	r.pairCached.Add(cached)
-	r.noteSearch(examined, rings)
-	return out, nil
+// searchWalker is the best-partner search's region walker: a nearest-first
+// depth-first descent of the pyramid, seeded from the query's own cell so
+// a running best exists — and dominance pruning bites — before anything
+// else is visited. A region is discarded at entry when its admissible
+// bound strictly dominates the running best; children are visited in
+// (grid distance, then region index) order, so near — hence cheap —
+// candidates tighten the threshold before far regions are judged. The
+// visit order only affects which regions get discarded, never the result:
+// strict-dominance discards cannot hide the argmin or a tie under the
+// (cost, then partner ID) total order, so the walk returns the
+// bit-identical partner the exhaustive scan would.
+type searchWalker struct {
+	r    *router
+	g    *greedyState
+	n    *topology.Node
+	qc   queryCtx
+	out  cand
+	seed int32 // home cell, already scanned; excluded from the descent
+
+	found bool
+
+	examined, pops  int
+	skipped, cached int64
+	err             error
 }
 
-// foldInIndexed folds a fresh merge node k into the schedule. A ring
-// search serves double duty: it computes k's own best partner ck and
-// applies every strict improvement cost(n, k) < best[n].cost. Costs are
-// evaluated owner-first as cost(n, k), exactly as the reference fold-in
-// does, and k carries the highest live ID, so ties keep the incumbent and
-// only strict improvements rewrite best[n].
-//
-// The rings may stop as soon as the floor dominates ck (k cannot find a
-// better partner outside). The improvement duty then falls to a block
-// sweep over the unvisited remainder, which skips every block — and then
-// every cell — whose monotone best-cost maximum already lies at or below
-// the distance floor: no node there can be strictly improved. A block
-// whose maximum exceeds the floor is descended and its candidates run
-// through the same filter, memo and evaluation as the ring scan. When the
-// ring floor also dominates maxBestUB (≥ every alive best), the sweep is
-// skipped outright. Serial sections only — it rewrites best rows and
-// dependent lists as it scans.
-func (r *router) foldInIndexed(g *greedyState, k *topology.Node) error {
-	idx := g.idx
-	q := k.ID
-	rad := g.fRad[q]
-	ci, cj := idx.coords(g.fU[q], g.fW[q])
-	ck := cand{}
-	found := false
-	examined, rings := 0, 0
-	var skipped, cached int64
-	var scanErr error
-	// Hoisted query-side floor terms; see bestPartnerIndexed.
-	qU, qW, qRad := g.fU[q], g.fW[q], g.fRad[q]
-	qZU, qWf := g.fZU[q], g.fWf[q]
-	distMode, starMode, cWire := g.polMode == polDist, g.polMode >= polAll, g.cWire
-	zSelf := qZU
-	if distMode {
-		zSelf = 0
+func (sw *searchWalker) reset(r *router, g *greedyState, n *topology.Node, qc queryCtx) {
+	sw.r, sw.g, sw.n, sw.qc = r, g, n, qc
+	sw.out, sw.found, sw.seed = cand{}, false, -1
+	sw.examined, sw.pops = 0, 0
+	sw.skipped, sw.cached = 0, 0
+	sw.err = nil
+}
+
+// walkRoots descends from the top-level regions, nearest-first. The top of
+// the pyramid is at most 2×2 by construction.
+func (sw *searchWalker) walkRoots() {
+	idx := sw.g.idx
+	top := len(idx.levels) - 1
+	lv := &idx.levels[top]
+	var order [4]int32
+	var bds [4]int
+	cnt := 0
+	for rg := int32(0); rg < int32(lv.cols*lv.rows); rg++ {
+		if lv.agg[rg].count == 0 {
+			continue
+		}
+		order[cnt] = rg
+		bds[cnt] = idx.regionBD(&sw.qc, top, rg)
+		cnt++
 	}
-	fU, fW, fRad, fZU, fWf := g.fU, g.fW, g.fRad, g.fZU, g.fWf
-	fGF, fA := g.fGF, g.fA
-	// Cell-level discard (see bestPartnerIndexed), with the fold-in's
-	// stricter burden: a skipped cell must neither contain k's partner nor
-	// an improvable best[n], so the threshold is the larger of ck and the
-	// cell's monotone best-cost maximum. df is the ring's base center
-	// distance; each cell discounts its own occupants' max radius.
-	df := 0.0
-	scan := func(c int) {
-		if scanErr != nil {
+	sortNearest(order[:cnt], bds[:cnt])
+	for i := 0; i < cnt; i++ {
+		sw.region(top, order[i], bds[i])
+		if sw.err != nil {
 			return
 		}
-		ids := idx.cells[c]
-		if len(ids) == 0 {
-			return
-		}
-		if found && !distMode {
-			thrCell := ck.cost
-			if idx.cellMaxBest[c] > thrCell {
-				thrCell = idx.cellMaxBest[c]
-			}
-			dfc := df - idx.cellMaxRad[c]
-			if dfc < 0 {
-				dfc = 0
-			}
-			var lbc float64
-			if starMode {
-				wf := qWf
-				if idx.cellWfMin[c] < wf {
-					wf = idx.cellWfMin[c]
-				}
-				lbc = idx.cellGFMin[c] + cWire*dfc*wf
-				if u := (idx.cellAMin[c] + cWire*dfc) * qWf; u < lbc {
-					lbc = u
-				}
-				lbc += qZU
-			} else {
-				// qWf guard: see bestPartnerIndexed's cell check.
-				wf := qWf
-				if idx.cellWfMin[c] < wf {
-					wf = idx.cellWfMin[c]
-				}
-				lbc = qZU + idx.cellZuMin[c] + cWire*dfc*wf
-			}
-			if dominated(lbc, thrCell) {
-				examined += len(ids)
-				skipped += int64(len(ids))
-				return
-			}
-		}
-		for _, id := range ids {
-			if int(id) == q {
+	}
+}
+
+// region walks one region of level l at grid distance bd: discard, scan
+// (level 0), or recurse into the live children nearest-first.
+func (sw *searchWalker) region(l int, rg int32, bd int) {
+	if l == 0 && rg == sw.seed {
+		return // home cell: scanned before the descent started
+	}
+	idx := sw.g.idx
+	lv := &idx.levels[l]
+	occ := lv.agg[rg].count
+	if occ == 0 {
+		return
+	}
+	if sw.found && dominated(idx.regionLB(&sw.qc, l, rg, bd), sw.out.cost) {
+		sw.skipped += int64(occ)
+		return
+	}
+	sw.pops++
+	if l == 0 {
+		sw.scanCell(rg)
+		return
+	}
+	cl := l - 1
+	clv := &idx.levels[cl]
+	ri, rj := int(rg)%lv.cols, int(rg)/lv.cols
+	var kids [4]int32
+	var bds [4]int
+	cnt := 0
+	for cj2 := rj * 2; cj2 <= rj*2+1 && cj2 < clv.rows; cj2++ {
+		for ci2 := ri * 2; ci2 <= ri*2+1 && ci2 < clv.cols; ci2++ {
+			crg := int32(cj2*clv.cols + ci2)
+			if clv.agg[crg].count == 0 {
 				continue
 			}
-			examined++
-			// Prune only above both thresholds: a discarded candidate then
-			// provably neither becomes ck nor improves best[n]. Until a
-			// first ck exists nothing may be pruned — k must always end up
-			// with a partner, however expensive.
-			thr := math.Inf(1)
-			if found {
-				thr = g.best[id].cost
-				if ck.cost > thr {
-					thr = ck.cost
-				}
-				du := qU - fU[id]
-				if du < 0 {
-					du = -du
-				}
-				if dw := qW - fW[id]; dw > du {
-					du = dw
-				} else if -dw > du {
-					du = -dw
-				}
-				dlb := du - qRad - fRad[id]
-				if dlb < 0 {
-					dlb = 0
-				}
-				lb := dlb
-				if starMode {
-					wf := qWf
-					if fWf[id] < wf {
-						wf = fWf[id]
-					}
-					lb = fGF[id] + cWire*dlb*wf
-					pm := qWf
-					if fWf[id] > pm {
-						pm = fWf[id]
-					}
-					if u := fA[id]*pm + cWire*dlb*qWf; u < lb {
-						lb = u
-					}
-					lb += qZU
-				} else if !distMode {
-					wf := qWf
-					if fWf[id] < wf {
-						wf = fWf[id]
-					}
-					lb = qZU + fZU[id] + cWire*dlb*wf
-				}
-				if dominated(lb, thr) {
-					skipped++
-					continue
-				}
-			}
-			n := g.byID[id]
-			var cost float64
-			if c, ok := g.memoGet(n.ID, k.ID); ok {
-				// Possible when n was just rescanned and already evaluated
-				// its pairing with k.
-				cached++
-				cost = g.fi.MemoCost(c)
-				if !(cost >= 0) {
-					scanErr = invariantf("memo row %d[%d] holds impossible cost %v",
-						n.ID, k.ID, cost)
-					return
-				}
-			} else {
-				c, pruned, err := r.pairCostGated(n, k, thr)
-				if err != nil {
-					scanErr = err
-					return
-				}
-				if pruned {
-					skipped++
-					continue
-				}
-				g.memoSet(n.ID, k.ID, c)
-				cost = c
-			}
-			if !found || cost < ck.cost || (cost == ck.cost && n.ID < ck.partner.ID) {
-				ck = cand{partner: n, cost: cost}
-				found = true
-			}
-			if cost < g.best[n.ID].cost {
-				g.setBest(n.ID, cand{partner: k, cost: cost})
-			}
+			kids[cnt] = crg
+			bds[cnt] = idx.regionBD(&sw.qc, cl, crg)
+			cnt++
 		}
 	}
-	// Hybrid near/far expansion exactly as in bestPartnerIndexed: cell
-	// rings in distance order over the near field, then block rings whose
-	// discard threshold is raised to the block's monotone best-cost maximum
-	// so a skipped block provably holds no improvable best[n] either.
-	side := 1 << blockShift
-	bi0, bj0 := ci>>blockShift, cj>>blockShift
-	lastB := idx.maxBlockRing(bi0, bj0)
-	stopRing, stopped, sweep := lastB<<blockShift, false, false
-	for ring := 0; ring < side; ring++ {
-		df = float64(ring-1)*idx.cell - rad
-		idx.visitRing(ci, cj, ring, scan)
-		if scanErr != nil {
-			return scanErr
-		}
-		if ring > 0 {
-			rings++
-		}
-		lb := g.ringLBFlat(zSelf, qWf, idx.ringFloor(ring, rad))
-		if found && dominated(lb, ck.cost) {
-			stopRing = ring
-			stopped = true
-			sweep = !dominated(lb, g.maxBestUB)
-			break
+	sortNearest(kids[:cnt], bds[:cnt])
+	for i := 0; i < cnt; i++ {
+		sw.region(cl, kids[i], bds[i])
+		if sw.err != nil {
+			return
 		}
 	}
-	scanBlock := func(bi, bj int) {
-		if scanErr != nil {
-			return
+}
+
+// scanCell streams one cell's candidate records through the admissible
+// filter, the memo and the gated evaluation, folding each survivor into
+// the running (cost, then partner ID) argmin. candFloor is the reference
+// form of the filter arithmetic (it sits beyond the inliner's budget, so
+// the terms are inlined here over one cache-line record per candidate).
+func (sw *searchWalker) scanCell(c int32) {
+	g, r, n := sw.g, sw.r, sw.n
+	q := n.ID
+	recs := g.idx.cells[c]
+	qU, qW, qRad := sw.qc.qU, sw.qc.qW, sw.qc.qRad
+	qZU, qWf := sw.qc.qZU, sw.qc.qWf
+	distMode, starMode, cWire := sw.qc.distMode, sw.qc.starMode, sw.qc.cWire
+	soa := spatialLayoutSoA
+	for i := range recs {
+		rec := &recs[i]
+		id := rec.id
+		if id == sw.qc.q {
+			continue
 		}
-		b := bj*idx.bcols + bi
-		if idx.blockCount[b] == 0 {
-			return
+		sw.examined++
+		var mu, mw, mrad, mzu, mwf, mgf, ma float64
+		if !soa {
+			mu, mw, mrad = rec.u, rec.w, rec.rad
+			mzu, mwf, mgf, ma = rec.zu, rec.wf, rec.gf, rec.a
+		} else {
+			mu, mw, mrad = g.fU[id], g.fW[id], g.fRad[id]
+			mzu, mwf = g.fZU[id], g.fWf[id]
+			mgf, ma = g.fGF[id], g.fA[id]
 		}
-		iLo, jLo := bi<<blockShift, bj<<blockShift
-		iHi, jHi := min(iLo+side-1, idx.cols-1), min(jLo+side-1, idx.rows-1)
-		bd := max(axisDist(ci, iLo, iHi), axisDist(cj, jLo, jHi))
-		if found && !distMode {
-			thrB := ck.cost
-			if idx.blockMaxBest[b] > thrB {
-				thrB = idx.blockMaxBest[b]
+		if sw.found {
+			du := qU - mu
+			if du < 0 {
+				du = -du
 			}
-			bdf := float64(bd-1)*idx.cell - rad - idx.blockMaxRad[b]
-			if bdf < 0 {
-				bdf = 0
+			if dw := qW - mw; dw > du {
+				du = dw
+			} else if -dw > du {
+				du = -dw
 			}
-			var lbb float64
+			dlb := du - qRad - mrad
+			if dlb < 0 {
+				dlb = 0
+			}
+			lb := dlb
 			if starMode {
 				wf := qWf
-				if idx.blockWfMin[b] < wf {
-					wf = idx.blockWfMin[b]
+				if mwf < wf {
+					wf = mwf
 				}
-				lbb = idx.blockGFMin[b] + cWire*bdf*wf
-				if u := (idx.blockAMin[b] + cWire*bdf) * qWf; u < lbb {
-					lbb = u
+				lb = mgf + cWire*dlb*wf
+				pm := qWf
+				if mwf > pm {
+					pm = mwf
 				}
-				lbb += qZU
-			} else {
-				// qWf guard: see bestPartnerIndexed's block check.
+				if u := ma*pm + cWire*dlb*qWf; u < lb {
+					lb = u
+				}
+				lb += qZU
+			} else if !distMode {
 				wf := qWf
-				if idx.blockWfMin[b] < wf {
-					wf = idx.blockWfMin[b]
+				if mwf < wf {
+					wf = mwf
 				}
-				lbb = qZU + idx.blockZuMin[b] + cWire*bdf*wf
+				lb = qZU + mzu + cWire*dlb*wf
 			}
-			if dominated(lbb, thrB) {
-				examined += int(idx.blockCount[b])
-				skipped += int64(idx.blockCount[b])
+			if dominated(lb, sw.out.cost) {
+				sw.skipped++
+				continue
+			}
+		}
+		m := g.byID[id]
+		var cost float64
+		if cc, ok := g.memoGet(q, int(id)); ok {
+			sw.cached++
+			cost = g.fi.MemoCost(cc)
+			if !(cost >= 0) {
+				sw.err = invariantf("memo row %d[%d] holds impossible cost %v",
+					q, id, cost)
 				return
 			}
+		} else {
+			thr := math.Inf(1)
+			if sw.found {
+				thr = sw.out.cost
+			}
+			cc, pruned, err := r.pairCostGated(n, m, thr)
+			if err != nil {
+				sw.err = err
+				return
+			}
+			if pruned {
+				sw.skipped++
+				continue
+			}
+			g.memoSet(q, int(id), cc)
+			cost = cc
 		}
-		for j := jLo; j <= jHi; j++ {
-			for i := iLo; i <= iHi; i++ {
-				cd := max(absInt(i-ci), absInt(j-cj))
-				if cd < side {
-					continue
-				}
-				df = float64(cd-1)*idx.cell - rad
-				scan(j*idx.cols + i)
-			}
-		}
-	}
-	if !stopped {
-		for bring := 1; bring <= lastB; bring++ {
-			idx.visitBlockRing(bi0, bj0, bring, scanBlock)
-			if scanErr != nil {
-				return scanErr
-			}
-			rings++
-			lb := g.ringLBFlat(zSelf, qWf, idx.ringFloor(bring<<blockShift, rad))
-			if found && dominated(lb, ck.cost) {
-				stopRing = bring << blockShift
-				sweep = !dominated(lb, g.maxBestUB)
-				break
-			}
+		if !sw.found || cost < sw.out.cost || (cost == sw.out.cost && m.ID < sw.out.partner.ID) {
+			sw.out = cand{partner: m, cost: cost}
+			sw.found = true
 		}
 	}
-	if sweep {
-		// Improvement sweep: every cell at Chebyshev distance ≤ stopRing
-		// was covered by a visited block (scanned, or discarded against a
-		// threshold that included the block's best-cost maximum); beyond
-		// them, cost(n, k) > ck.cost is already proven, so only strict
-		// improvements of best[n] remain at stake.
-		for bj := 0; bj < idx.brows && scanErr == nil; bj++ {
-			for bi := 0; bi < idx.bcols; bi++ {
-				b := bj*idx.bcols + bi
-				iLo, jLo := bi<<blockShift, bj<<blockShift
-				iHi, jHi := min(iLo+side-1, idx.cols-1), min(jLo+side-1, idx.rows-1)
-				bd := max(axisDist(ci, iLo, iHi), axisDist(cj, jLo, jHi))
-				bdist := float64(max(bd-1, stopRing))*idx.cell - rad - idx.blockMaxRad[b]
-				if bdist < 0 {
-					bdist = 0
+}
+
+// searchScratch is one worker's private search state: the best-partner
+// walker and the fold-in walker, padded apart so adjacent workers never
+// share a cache line.
+type searchScratch struct {
+	search searchWalker
+	fold   foldWalker
+	_      [64]byte
+}
+
+// improvement is one deferred best-table rewrite discovered by a fold-in
+// walk: cost(id, k) was strictly below best[id] at walk time. Deferring
+// the applies (sorted by id, strict-< at apply time) makes the serial and
+// sharded fold-ins produce identical best tables: an improvement can never
+// be pruned under any schedule, duplicates collapse under strict <, and
+// apply order is fixed by the sort.
+type improvement struct {
+	id   int32
+	cost float64
+}
+
+// bestPartnerIndexed is bestPartnerPruned driven by the region pyramid: it
+// scans the query's home cell first (a near — hence tight — initial best),
+// then lets the searchWalker descend the pyramid nearest-first, discarding
+// every region whose admissible bound strictly dominates the running best.
+// The neighborhood examined tracks the local density, not N. Candidates go
+// through the same flat admissible filter, memo and gated bound, under the
+// same (cost, then partner ID) argmin as the exhaustive scan; strict-
+// dominance pruning never discards a potential tie, so the returned cand
+// is bit-identical to the exhaustive one. Safe to call concurrently for
+// distinct n with distinct worker indices w; the index is read-only here.
+func (r *router) bestPartnerIndexed(g *greedyState, n *topology.Node, w int) (cand, error) {
+	idx := g.idx
+	sw := &g.scratch[w].search
+	sw.reset(r, g, n, g.makeQuery(n.ID))
+	if rg0 := int32(sw.qc.qcj*idx.cols + sw.qc.qci); idx.levels[0].agg[rg0].count > 0 {
+		sw.seed = rg0
+		sw.pops++
+		sw.scanCell(rg0)
+	}
+	if sw.err == nil {
+		sw.walkRoots()
+	}
+	if sw.err != nil {
+		return cand{}, sw.err
+	}
+	r.pairSkipped.Add(sw.skipped)
+	r.pairCached.Add(sw.cached)
+	r.noteSearch(sw.examined, sw.pops)
+	return sw.out, nil
+}
+
+// foldWalker is the fold-in's region walker: a nearest-first depth-first
+// descent of the pyramid that serves double duty — it computes the fresh
+// node k's own best partner ck and records every strict improvement
+// cost(n, k) < best[n].cost as a deferred rewrite. Costs are evaluated
+// owner-first as cost(n, k), exactly as the reference fold-in does, and k
+// carries the highest live ID, so ties keep the incumbent and only strict
+// improvements rewrite best[n].
+//
+// A region is discarded only when its admissible bound strictly dominates
+// BOTH duties' thresholds: the running ck and the region's monotone
+// best-cost maximum (≥ best[n] for every occupant). A discarded region
+// therefore provably holds neither k's partner nor an improvable node.
+// Until a first ck exists nothing is pruned — k must always end up with a
+// partner, however expensive.
+//
+// In probe mode the walker stops after the first scanned cell that yields
+// a candidate, seeding the sharded fold-in with a near (hence tight)
+// initial ck. The same walker instance is then reused per shard item.
+type foldWalker struct {
+	r     *router
+	g     *greedyState
+	k     *topology.Node
+	qc    queryCtx
+	ck    cand
+	ckAcc cand // per-worker reduce accumulator under (cost, partner ID)
+	found bool
+	probe bool
+	imps  []improvement
+
+	examined, pops  int
+	skipped, cached int64
+	err             error
+}
+
+func (fw *foldWalker) reset(r *router, g *greedyState, k *topology.Node, qc queryCtx, probe bool) {
+	fw.r, fw.g, fw.k, fw.qc, fw.probe = r, g, k, qc, probe
+	fw.ck, fw.ckAcc, fw.found = cand{}, cand{}, false
+	fw.imps = fw.imps[:0]
+	fw.examined, fw.pops = 0, 0
+	fw.skipped, fw.cached = 0, 0
+	fw.err = nil
+}
+
+// walkRoots descends from the top-level regions, nearest-first. The top of
+// the pyramid is at most 2×2 by construction.
+func (fw *foldWalker) walkRoots() {
+	idx := fw.g.idx
+	top := len(idx.levels) - 1
+	lv := &idx.levels[top]
+	var order [4]int32
+	var bds [4]int
+	cnt := 0
+	for rg := int32(0); rg < int32(lv.cols*lv.rows); rg++ {
+		if lv.agg[rg].count == 0 {
+			continue
+		}
+		order[cnt] = rg
+		bds[cnt] = idx.regionBD(&fw.qc, top, rg)
+		cnt++
+	}
+	sortNearest(order[:cnt], bds[:cnt])
+	for i := 0; i < cnt; i++ {
+		fw.region(top, order[i], bds[i])
+		if fw.err != nil || (fw.probe && fw.found) {
+			return
+		}
+	}
+}
+
+// sortNearest insertion-sorts ≤4 regions by (grid distance, then region
+// index) — the deterministic nearest-first visit order.
+func sortNearest(rgs []int32, bds []int) {
+	for i := 1; i < len(rgs); i++ {
+		for j := i; j > 0 && (bds[j] < bds[j-1] || (bds[j] == bds[j-1] && rgs[j] < rgs[j-1])); j-- {
+			bds[j], bds[j-1] = bds[j-1], bds[j]
+			rgs[j], rgs[j-1] = rgs[j-1], rgs[j]
+		}
+	}
+}
+
+// region walks one region of level l at grid distance bd: discard, scan
+// (level 0), or recurse into the live children nearest-first.
+func (fw *foldWalker) region(l int, rg int32, bd int) {
+	if fw.err != nil || (fw.probe && fw.found) {
+		return
+	}
+	idx := fw.g.idx
+	lv := &idx.levels[l]
+	ag := &lv.agg[rg]
+	if ag.count == 0 {
+		return
+	}
+	if fw.found {
+		thr := fw.ck.cost
+		if ag.maxBest > thr {
+			thr = ag.maxBest
+		}
+		if dominated(idx.regionLB(&fw.qc, l, rg, bd), thr) {
+			fw.skipped += int64(ag.count)
+			return
+		}
+	}
+	fw.pops++
+	if l == 0 {
+		fw.scanCell(rg)
+		return
+	}
+	cl := l - 1
+	clv := &idx.levels[cl]
+	ri, rj := int(rg)%lv.cols, int(rg)/lv.cols
+	var kids [4]int32
+	var bds [4]int
+	cnt := 0
+	for cj2 := rj * 2; cj2 <= rj*2+1 && cj2 < clv.rows; cj2++ {
+		for ci2 := ri * 2; ci2 <= ri*2+1 && ci2 < clv.cols; ci2++ {
+			crg := int32(cj2*clv.cols + ci2)
+			if clv.agg[crg].count == 0 {
+				continue
+			}
+			kids[cnt] = crg
+			bds[cnt] = idx.regionBD(&fw.qc, cl, crg)
+			cnt++
+		}
+	}
+	sortNearest(kids[:cnt], bds[:cnt])
+	for i := 0; i < cnt; i++ {
+		fw.region(cl, kids[i], bds[i])
+		if fw.err != nil || (fw.probe && fw.found) {
+			return
+		}
+	}
+}
+
+// scanCell streams one cell's candidate records through the admissible
+// filter, the owner-first memo and the gated evaluation, folding each
+// survivor into ck and recording strict improvements. The per-candidate
+// prune threshold is the larger of best[id] and ck — a discarded candidate
+// then provably neither becomes ck nor improves best[id].
+func (fw *foldWalker) scanCell(c int32) {
+	g, r, k := fw.g, fw.r, fw.k
+	recs := g.idx.cells[c]
+	qU, qW, qRad := fw.qc.qU, fw.qc.qW, fw.qc.qRad
+	qZU, qWf := fw.qc.qZU, fw.qc.qWf
+	distMode, starMode, cWire := fw.qc.distMode, fw.qc.starMode, fw.qc.cWire
+	soa := spatialLayoutSoA
+	for i := range recs {
+		rec := &recs[i]
+		id := rec.id
+		if id == fw.qc.q {
+			continue
+		}
+		fw.examined++
+		var mu, mw, mrad, mzu, mwf, mgf, ma float64
+		if !soa {
+			mu, mw, mrad = rec.u, rec.w, rec.rad
+			mzu, mwf, mgf, ma = rec.zu, rec.wf, rec.gf, rec.a
+		} else {
+			mu, mw, mrad = g.fU[id], g.fW[id], g.fRad[id]
+			mzu, mwf = g.fZU[id], g.fWf[id]
+			mgf, ma = g.fGF[id], g.fA[id]
+		}
+		thr := math.Inf(1)
+		if fw.found {
+			thr = g.best[id].cost
+			if fw.ck.cost > thr {
+				thr = fw.ck.cost
+			}
+			du := qU - mu
+			if du < 0 {
+				du = -du
+			}
+			if dw := qW - mw; dw > du {
+				du = dw
+			} else if -dw > du {
+				du = -dw
+			}
+			dlb := du - qRad - mrad
+			if dlb < 0 {
+				dlb = 0
+			}
+			lb := dlb
+			if starMode {
+				wf := qWf
+				if mwf < wf {
+					wf = mwf
 				}
-				if g.ringLBFlat(zSelf, qWf, bdist) >= idx.blockMaxBest[b] {
-					continue
+				lb = mgf + cWire*dlb*wf
+				pm := qWf
+				if mwf > pm {
+					pm = mwf
 				}
-				for j := jLo; j <= jHi; j++ {
-					for i := iLo; i <= iHi; i++ {
-						cd := max(absInt(i-ci), absInt(j-cj))
-						if cd <= stopRing {
-							continue
-						}
-						c := j*idx.cols + i
-						if len(idx.cells[c]) == 0 {
-							continue
-						}
-						cdist := float64(cd-1)*idx.cell - rad - idx.cellMaxRad[c]
-						if cdist < 0 {
-							cdist = 0
-						}
-						if g.ringLBFlat(zSelf, qWf, cdist) >= idx.cellMaxBest[c] {
-							continue
-						}
-						df = float64(cd-1)*idx.cell - rad
-						scan(c)
-					}
+				if u := ma*pm + cWire*dlb*qWf; u < lb {
+					lb = u
 				}
+				lb += qZU
+			} else if !distMode {
+				wf := qWf
+				if mwf < wf {
+					wf = mwf
+				}
+				lb = qZU + mzu + cWire*dlb*wf
+			}
+			if dominated(lb, thr) {
+				fw.skipped++
+				continue
 			}
 		}
-		if scanErr != nil {
-			return scanErr
+		n := g.byID[id]
+		var cost float64
+		if cc, ok := g.memoGet(int(id), k.ID); ok {
+			// Possible when n was just rescanned and already evaluated its
+			// pairing with k, or when the probe covered this cell.
+			fw.cached++
+			cost = g.fi.MemoCost(cc)
+			if !(cost >= 0) {
+				fw.err = invariantf("memo row %d[%d] holds impossible cost %v",
+					id, k.ID, cost)
+				return
+			}
+		} else {
+			cc, pruned, err := r.pairCostGated(n, k, thr)
+			if err != nil {
+				fw.err = err
+				return
+			}
+			if pruned {
+				fw.skipped++
+				continue
+			}
+			g.memoSet(int(id), k.ID, cc)
+			cost = cc
+		}
+		if !fw.found || cost < fw.ck.cost || (cost == fw.ck.cost && n.ID < fw.ck.partner.ID) {
+			fw.ck = cand{partner: n, cost: cost}
+			fw.found = true
+		}
+		if cost < g.best[id].cost {
+			fw.imps = append(fw.imps, improvement{id: id, cost: cost})
+		}
+	}
+}
+
+// foldInIndexed folds a fresh merge node k into the schedule: k's best
+// partner ck plus every strict improvement of a live node's cached best.
+// Small populations take one serial nearest-first walk. Large ones run the
+// deterministic sharded fold: a serial probe walk finds a near candidate
+// to seed every worker's threshold, the live regions of a level wide
+// enough to feed all workers become the work list, workers self-schedule
+// region walks (each item seeded identically, so its pruning decisions are
+// schedule-independent), and a serial reduce folds the per-worker argmins
+// under the (cost, then partner ID) order and applies the deferred
+// improvements in sorted-id order. Any candidate that could change the
+// outcome is never pruned under any schedule, so Workers=N is
+// bit-identical to Workers=1. Serial sections own all mutations; the
+// parallel phase reads the index and writes only per-owner memo rows and
+// per-worker state.
+func (r *router) foldInIndexed(g *greedyState, k *topology.Node) error {
+	idx := g.idx
+	qc := g.makeQuery(k.ID)
+	if r.workers <= 1 || len(g.scratch) <= 1 || idx.count < parallelFoldMinAlive {
+		fw := &g.scratch[0].fold
+		fw.reset(r, g, k, qc, false)
+		fw.walkRoots()
+		if fw.err != nil {
+			return fw.err
+		}
+		return g.finishFold(r, k, fw.ck, fw.imps, fw.examined, fw.pops, fw.skipped, fw.cached)
+	}
+	pf := &g.probeFold
+	pf.reset(r, g, k, qc, true)
+	pf.walkRoots()
+	if pf.err != nil {
+		return pf.err
+	}
+	if !pf.found {
+		// No candidate anywhere (k is alone): the probe walk, which never
+		// prunes before a first candidate, already visited everything.
+		return g.finishFold(r, k, pf.ck, pf.imps, pf.examined, pf.pops, pf.skipped, pf.cached)
+	}
+	// Shard over the highest level that still offers a few regions per
+	// worker; the live regions there partition the population.
+	lvl := len(idx.levels) - 1
+	for lvl > 0 && idx.levels[lvl].cols*idx.levels[lvl].rows < 4*len(g.scratch) {
+		lvl--
+	}
+	g.foldLevel = lvl
+	lv := &idx.levels[lvl]
+	fr := idx.scr.frontier[:0]
+	for rg := int32(0); rg < int32(lv.cols*lv.rows); rg++ {
+		if lv.agg[rg].count > 0 {
+			fr = append(fr, rg)
+		}
+	}
+	idx.scr.frontier = fr
+	g.foldSeed = pf.ck
+	for w := range g.scratch {
+		fw := &g.scratch[w].fold
+		fw.reset(r, g, k, qc, false)
+		fw.ck, fw.ckAcc, fw.found = pf.ck, pf.ck, true
+	}
+	if err := r.parallelForW(len(fr), g.shardFn); err != nil {
+		return err
+	}
+	ck := pf.ck
+	imps := pf.imps
+	examined, pops := pf.examined, pf.pops
+	skipped, cached := pf.skipped, pf.cached
+	for w := range g.scratch {
+		fw := &g.scratch[w].fold
+		if fw.err != nil {
+			return fw.err
+		}
+		if a := fw.ckAcc; a.cost < ck.cost || (a.cost == ck.cost && a.partner.ID < ck.partner.ID) {
+			ck = a
+		}
+		imps = append(imps, fw.imps...)
+		examined += fw.examined
+		pops += fw.pops
+		skipped += fw.skipped
+		cached += fw.cached
+	}
+	pf.imps = imps
+	return g.finishFold(r, k, ck, imps, examined, pops, skipped, cached)
+}
+
+// finishFold applies a fold-in's deferred improvements in sorted-id order
+// (strict < at apply time collapses the probe/shard duplicates), flushes
+// the search counters, and records k's own best partner.
+func (g *greedyState) finishFold(r *router, k *topology.Node, ck cand, imps []improvement,
+	examined, pops int, skipped, cached int64) error {
+	slices.SortFunc(imps, func(a, b improvement) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	for _, im := range imps {
+		if im.cost < g.best[im.id].cost {
+			g.setBest(int(im.id), cand{partner: k, cost: im.cost})
 		}
 	}
 	r.pairSkipped.Add(skipped)
 	r.pairCached.Add(cached)
-	r.noteSearch(examined, rings)
+	r.noteSearch(examined, pops)
 	g.setBest(k.ID, ck)
 	return nil
 }
@@ -1203,21 +1321,14 @@ func axisDist(c, lo, hi int) int {
 	return 0
 }
 
-func absInt(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
-
 // runGreedyIndexed is the merge loop of the indexed path. It differs from
 // the exhaustive loop only in how candidates are generated and how stale
 // best-partner entries are found (reverse-dependent lists instead of a
 // full scan); selections, merges and every tie-break are identical.
 func (r *router) runGreedyIndexed(g *greedyState, active []*topology.Node, initStart time.Time) (*topology.Node, error) {
 	initial := make([]cand, len(active))
-	if err := r.parallelFor(len(active), func(i int) error {
-		c, err := r.bestPartnerIndexed(g, active[i])
+	if err := r.parallelForW(len(active), func(i, w int) error {
+		c, err := r.bestPartnerIndexed(g, active[i], w)
 		initial[i] = c
 		return err
 	}); err != nil {
@@ -1227,6 +1338,14 @@ func (r *router) runGreedyIndexed(g *greedyState, active []*topology.Node, initS
 		g.setBest(n.ID, initial[i])
 	}
 	r.stats.PhaseInit = time.Since(initStart)
+
+	// Hoisted once: the rescan body shared by every iteration's parallel
+	// phase (stale nodes and results travel through greedyState buffers).
+	rescanFn := func(i, w int) error {
+		c, err := r.bestPartnerIndexed(g, g.staleBuf[i], w)
+		g.rescanBuf[i] = c
+		return err
+	}
 
 	alive := len(active)
 	root := active[0]
@@ -1285,11 +1404,7 @@ func (r *router) runGreedyIndexed(g *greedyState, active []*topology.Node, initS
 		}
 		rescan = rescan[:len(stale)]
 		g.rescanBuf = rescan
-		if err := r.parallelFor(len(stale), func(i int) error {
-			c, err := r.bestPartnerIndexed(g, stale[i])
-			rescan[i] = c
-			return err
-		}); err != nil {
+		if err := r.parallelForW(len(stale), rescanFn); err != nil {
 			return nil, err
 		}
 		for i, n := range stale {

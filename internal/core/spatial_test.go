@@ -100,12 +100,27 @@ func routeExhaustive(t testing.TB, in *Instance, opts Options) (*topology.Tree, 
 	return tr, s
 }
 
+// routeLayoutSoA routes in with the cell scans switched to the gathered
+// flat-array (SoA) layout — the differential seam of the AoS records. Same
+// caveat as routeExhaustive: package-variable seam, not parallel-safe.
+func routeLayoutSoA(t testing.TB, in *Instance, opts Options) *topology.Tree {
+	t.Helper()
+	spatialLayoutSoA = true
+	defer func() { spatialLayoutSoA = false }()
+	tr, _, err := Route(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
 // TestSpatialMatchesExhaustiveProperty is the differential property test of
 // the tentpole: across 200 random instances — every placement shape, every
 // indexed method, varying sizes and seeds — the spatially indexed greedy
 // must produce the bit-identical tree (same digest, same merge count) as
-// the exhaustive O(n²) scan it replaced. Any admissibility bug in the ring
-// or candidate floors, any tie-break divergence in the argmin, and any
+// the exhaustive O(n²) scan it replaced, in both candidate layouts (AoS
+// records and gathered SoA). Any admissibility bug in the region or
+// candidate floors, any tie-break divergence in the argmin, and any
 // staleness bug in the incremental insert/remove path shows up here as a
 // digest mismatch.
 func TestSpatialMatchesExhaustiveProperty(t *testing.T) {
@@ -140,6 +155,14 @@ func TestSpatialMatchesExhaustiveProperty(t *testing.T) {
 			t.Fatalf("%s: indexed tree %s != exhaustive tree %s",
 				name, fast.Digest()[:12], ref.Digest()[:12])
 		}
+		// Layout differential: the same route with the cell scans reading
+		// the gathered flat arrays (SoA) instead of the resident candRec
+		// fields must not move a single bit.
+		soa := routeLayoutSoA(t, in, opts)
+		if soa.Digest() != ref.Digest() {
+			t.Fatalf("%s: SoA-layout tree %s != exhaustive tree %s",
+				name, soa.Digest()[:12], ref.Digest()[:12])
+		}
 		if fs.IndexSearches > 0 {
 			indexed++
 		}
@@ -152,20 +175,48 @@ func TestSpatialMatchesExhaustiveProperty(t *testing.T) {
 	}
 }
 
+// BenchmarkSpatialLayout measures the tentpole's layout claim head to
+// head: the same routes with cell scans streaming the resident AoS
+// records versus gathering the six flat SoA arrays through cellOf
+// indirections. Both produce bit-identical trees (the property test pins
+// that); only the memory traffic differs.
+func BenchmarkSpatialLayout(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		in := placedInstance(b, "uniform", n, 42)
+		opts := Options{Tech: tech.Default(), Method: MinSwitchedCap, Drivers: GatedTree}
+		for _, soa := range []bool{false, true} {
+			name := fmt.Sprintf("N=%d/aos", n)
+			if soa {
+				name = fmt.Sprintf("N=%d/soa", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				spatialLayoutSoA = soa
+				defer func() { spatialLayoutSoA = false }()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := Route(in, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // FuzzSpatialIndex drives the index container with an arbitrary op stream
 // (insert, remove, noteBest) and cross-checks it against a flat mirror
-// model: membership, per-cell bucketing, per-block occupant counts, the
-// monotone best-cost maxima, and exactly-once ring traversal.
+// model: membership, per-cell bucketing of full records, the per-level
+// region occupant counts, the admissible min/max aggregates, and the
+// monotone maxBest hierarchy the best-first walk prunes against.
 func FuzzSpatialIndex(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252})
 	f.Add([]byte("insert-remove-insert"))
 	f.Add([]byte{255, 255, 0, 0, 128, 64, 32, 16})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const capIDs = 64
-		x := newSpatialGrid(capIDs, 0, 1000, -500, 500, 32)
+		x := newSpatialGrid(&spatialScratch{}, capIDs, 0, 1000, -500, 500, 32)
 		type mirror struct {
 			live bool
-			u, w float64
+			rec  candRec
 			best float64
 		}
 		var m [capIDs]mirror
@@ -176,8 +227,17 @@ func FuzzSpatialIndex(f *testing.F) {
 			switch data[i] % 3 {
 			case 0: // insert (skip if live: the greedy never double-inserts)
 				if !m[id].live {
-					x.insert(id, u, w)
-					m[id] = mirror{live: true, u: u, w: w}
+					rec := candRec{
+						u: u, w: w,
+						rad: float64(data[i+1]%16) * 3,
+						zu:  float64(data[i+2]) * 2,
+						wf:  1 + float64(data[i+1]%8),
+						gf:  float64(data[i+1]) + float64(data[i+2])/4,
+						a:   float64(data[i+2]%32) * 5,
+						id:  id,
+					}
+					x.insert(rec)
+					m[id] = mirror{live: true, rec: rec}
 				}
 			case 1: // remove (removing an absent id must be a no-op)
 				x.remove(id)
@@ -194,7 +254,8 @@ func FuzzSpatialIndex(f *testing.F) {
 		}
 
 		// Membership and bucketing: every live id sits in exactly the cell
-		// its clamped coordinates say, and in no other; dead ids nowhere.
+		// its clamped coordinates say, with its record intact; dead ids
+		// appear nowhere.
 		liveCount := 0
 		for id := int32(0); id < capIDs; id++ {
 			c := x.cellOf[id]
@@ -205,77 +266,72 @@ func FuzzSpatialIndex(f *testing.F) {
 				continue
 			}
 			liveCount++
-			ci, cj := x.coords(m[id].u, m[id].w)
+			ci, cj := x.coords(m[id].rec.u, m[id].rec.w)
 			if want := int32(cj*x.cols + ci); c != want {
 				t.Fatalf("id %d in cell %d, coords say %d", id, c, want)
 			}
 			found := 0
 			for _, v := range x.cells[c] {
-				if v == id {
+				if v.id == id {
 					found++
+					if v != m[id].rec {
+						t.Fatalf("id %d record %+v differs from inserted %+v", id, v, m[id].rec)
+					}
 				}
 			}
 			if found != 1 {
 				t.Fatalf("id %d appears %d times in its cell", id, found)
 			}
-			// The monotone maxima must upper-bound the id's noted best.
-			if m[id].best > 0 {
-				if x.cellMaxBest[c] < m[id].best {
-					t.Fatalf("cellMaxBest %v below noted best %v", x.cellMaxBest[c], m[id].best)
-				}
-				if b := x.blockOf(c); x.blockMaxBest[b] < m[id].best {
-					t.Fatalf("blockMaxBest %v below noted best %v", x.blockMaxBest[b], m[id].best)
-				}
-			}
 		}
 		if x.count != liveCount {
 			t.Fatalf("index count %d, mirror %d", x.count, liveCount)
 		}
-
-		// Per-block occupant counts must equal the sum of their cells.
-		blockSum := make([]int32, len(x.blockCount))
 		total := 0
-		for c, ids := range x.cells {
-			blockSum[x.blockOf(int32(c))] += int32(len(ids))
-			total += len(ids)
+		for _, recs := range x.cells {
+			total += len(recs)
 		}
 		if total != liveCount {
-			t.Fatalf("cells hold %d ids, mirror %d", total, liveCount)
-		}
-		for b := range blockSum {
-			if blockSum[b] != x.blockCount[b] {
-				t.Fatalf("block %d count %d, cells sum to %d", b, x.blockCount[b], blockSum[b])
-			}
+			t.Fatalf("cells hold %d records, mirror %d", total, liveCount)
 		}
 
-		// Ring traversal: expanding rings from a data-dependent center must
-		// visit every cell exactly once, so a search can neither skip nor
-		// double-count a candidate bucket.
-		var ci, cj int
-		if len(data) >= 2 {
-			ci, cj = int(data[0])%x.cols, int(data[1])%x.rows
-		}
-		seen := make([]int, len(x.cells))
-		maxR := max(max(ci, x.cols-1-ci), max(cj, x.rows-1-cj))
-		for r := 0; r <= maxR; r++ {
-			x.visitRing(ci, cj, r, func(c int) { seen[c]++ })
-		}
-		for c, n := range seen {
-			if n != 1 {
-				t.Fatalf("cell %d visited %d times by rings around (%d,%d)", c, n, ci, cj)
+		// Every pyramid level must agree with the raster: region occupant
+		// counts equal the summed cell lengths, the floor minima bound every
+		// occupant's terms from below, maxRad bounds every radius from
+		// above, and maxBest dominates every noted best cost. (Minima may
+		// sit strictly below all live occupants after removals —
+		// stale-but-safe is the contract; they may never sit above.)
+		for l := range x.levels {
+			lv := &x.levels[l]
+			sum := make([]int32, lv.cols*lv.rows)
+			for c, recs := range x.cells {
+				ci, cj := c%x.cols, c/x.cols
+				sum[(cj>>lv.shift)*lv.cols+ci>>lv.shift] += int32(len(recs))
 			}
-		}
-		bseen := make([]int, len(x.blockCount))
-		var bi, bj int
-		if len(data) >= 2 {
-			bi, bj = int(data[0])%x.bcols, int(data[1])%x.brows
-		}
-		for r := 0; r <= x.maxBlockRing(bi, bj); r++ {
-			x.visitBlockRing(bi, bj, r, func(bi, bj int) { bseen[bj*x.bcols+bi]++ })
-		}
-		for b, n := range bseen {
-			if n != 1 {
-				t.Fatalf("block %d visited %d times", b, n)
+			for rg := range sum {
+				if sum[rg] != lv.agg[rg].count {
+					t.Fatalf("level %d region %d count %d, cells sum to %d",
+						l, rg, lv.agg[rg].count, sum[rg])
+				}
+			}
+			for id := int32(0); id < capIDs; id++ {
+				if !m[id].live {
+					continue
+				}
+				r := m[id].rec
+				ci, cj := x.coords(r.u, r.w)
+				ag := &lv.agg[(cj>>lv.shift)*lv.cols+ci>>lv.shift]
+				if ag.zuMin > r.zu || ag.wfMin > r.wf ||
+					ag.gfMin > r.gf || ag.aMin > r.a {
+					t.Fatalf("level %d minima exceed occupant %d: %+v", l, id, r)
+				}
+				if ag.maxRad < r.rad {
+					t.Fatalf("level %d maxRad %v below occupant radius %v",
+						l, ag.maxRad, r.rad)
+				}
+				if m[id].best > 0 && ag.maxBest < m[id].best {
+					t.Fatalf("level %d maxBest %v below noted best %v",
+						l, ag.maxBest, m[id].best)
+				}
 			}
 		}
 	})

@@ -59,7 +59,14 @@ type Node struct {
 
 // NewSink returns a leaf node for module sinkIndex at the given location.
 func NewSink(id, sinkIndex int, loc geom.Point, loadCap float64) *Node {
-	return &Node{
+	n := MakeSink(id, sinkIndex, loc, loadCap)
+	return &n
+}
+
+// MakeSink is NewSink by value, for callers that slab-allocate their nodes
+// (the router builds all sinks of an instance in one backing array).
+func MakeSink(id, sinkIndex int, loc geom.Point, loadCap float64) Node {
+	return Node{
 		ID:        id,
 		SinkIndex: sinkIndex,
 		MS:        geom.FromPoint(loc),
