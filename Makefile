@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench bench-smoke race fuzz serve loadtest chaos-smoke clean
+.PHONY: all build vet lint test test-full bench bench-smoke race fuzz serve loadtest chaos-smoke cluster-smoke clean
 
 # Default: build everything, lint, and run the fast test suite.
 all: build lint test
@@ -48,7 +48,7 @@ bench-smoke:
 # here under -short: it forces the sharded fold-in on and is the test that
 # puts the fold workers under the race detector.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/obs/... ./internal/activity/... ./internal/serve/... ./cmd/gcr/... .
+	$(GO) test -race -short ./internal/core/... ./internal/obs/... ./internal/activity/... ./internal/serve/... ./internal/cluster/... ./internal/lru/... ./cmd/gcr/... ./cmd/gcrd/... .
 
 # Short mutation runs over every fuzz target. The checked-in seed corpora
 # (r1-r5 serializations among them) already run as unit cases in `make test`;
@@ -81,6 +81,17 @@ loadtest:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosHarnessEndToEnd|TestPanicIsolation|TestBatchPartialFailure' -count=1 ./internal/serve
 	$(GO) run -race ./examples/loadclient -chaos -n 300 -json BENCH_chaos.json
+
+# Cluster smoke under -race: the warm-restart peer-fetch drill and the full
+# three-phase harness test in-process, then a multi-process run — front tier
+# driving two real gcrd subprocesses over loopback with a mid-load kill —
+# writing BENCH_cluster.json. The acceptance bar (zero client-visible loss
+# in the kill window, no tree-digest divergence, rebalance + hand-back
+# observed) is enforced by the harness test and the loadclient run alike.
+cluster-smoke:
+	$(GO) test -race -run 'TestClusterWarmRestart|TestClusterHarnessEndToEnd|TestClusterFailoverAndHandback' -count=1 ./internal/cluster
+	$(GO) build -race -o bin/gcrd ./cmd/gcrd
+	$(GO) run -race ./examples/loadclient -cluster -shards 2 -gcrd bin/gcrd -n 300 -c 4 -json BENCH_cluster.json
 
 clean:
 	$(GO) clean ./...

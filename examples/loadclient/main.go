@@ -16,11 +16,20 @@
 // recovered and counted, warm post-restart cache) and writing the
 // BENCH_chaos.json record via -json.
 //
+// With -cluster it runs the cluster harness instead: a consistent-hash
+// front tier over N shard backends (in-process by default; real gcrd
+// subprocesses over loopback with -gcrd) through a healthy phase, a
+// kill-one-shard-mid-load phase that must lose no client-visible request,
+// and a warm-restart recovery phase — writing the BENCH_cluster.json
+// record via -json.
+//
 // Usage:
 //
 //	go run ./examples/loadclient -n 400 -c 16
 //	go run ./examples/loadclient -n 400 -c 32 -depth 64 -json BENCH_serve.json
 //	go run ./examples/loadclient -chaos -n 300 -json BENCH_chaos.json
+//	go run ./examples/loadclient -cluster -shards 3 -n 400 -json BENCH_cluster.json
+//	go run ./examples/loadclient -cluster -shards 2 -gcrd bin/gcrd -n 300
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -44,17 +54,105 @@ func main() {
 	depth := flag.Int("depth", 64, "server admission queue depth")
 	jsonOut := flag.String("json", "", "also write a benchmark summary JSON to this file")
 	chaos := flag.Bool("chaos", false, "run the chaos harness (fault injection + kill window + warm restart) instead of the plain load test")
+	clusterMode := flag.Bool("cluster", false, "run the cluster harness (front tier + shards, kill-one-shard phase, warm-restart recovery) instead of the plain load test")
+	shards := flag.Int("shards", 3, "shard count for -cluster")
+	gcrdBin := flag.String("gcrd", "", "path to a gcrd binary: run -cluster shards as real subprocesses over loopback (empty = in-process)")
 	flag.Parse()
 	var err error
-	if *chaos {
+	switch {
+	case *chaos && *clusterMode:
+		err = fmt.Errorf("-chaos and -cluster are mutually exclusive: pick one harness")
+	case *chaos:
 		err = runChaos(os.Stdout, *n, *conc, *workers, *depth, *jsonOut)
-	} else {
+	case *clusterMode:
+		err = runCluster(os.Stdout, *n, *conc, *shards, *gcrdBin, *jsonOut)
+	default:
 		err = run(os.Stdout, *n, *conc, *workers, *depth, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadclient:", err)
 		os.Exit(1)
 	}
+}
+
+// runCluster drives cluster.RunClusterHarness and enforces the cluster
+// acceptance criteria: a kill phase with zero client-visible loss, no
+// tree-digest divergence anywhere, and an observed rebalance + hand-back.
+func runCluster(w *os.File, n, conc, shards int, gcrdBin, jsonOut string) error {
+	rep, err := cluster.RunClusterHarness(cluster.HarnessConfig{
+		Shards:          shards,
+		GcrdBin:         gcrdBin,
+		Requests:        n / 2,
+		KillRequests:    n / 4,
+		RecoverRequests: n / 4,
+		Concurrency:     conc,
+		// Size the front-tier L1 between the healthy-phase pool and the
+		// larger kill/recovery pool so the recorded run exercises the whole
+		// ladder: L1 absorbs the healthy repeats, while the wider pools
+		// spill to shard L2 and to peer fetch during the warm restart.
+		L1Size: max(8, n/10),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("cluster harness: %w", err)
+	}
+	mode := "in-process shards"
+	if rep.MultiProcess {
+		mode = "gcrd subprocesses"
+	}
+	fmt.Fprintf(w, "cluster: %d shards (%s) — l1 %.1f%%  l2 %.1f%%  peer %.1f%% of %d requests\n",
+		rep.Shards, mode, rep.L1HitRate*100, rep.L2HitRate*100, rep.PeerHitRate*100,
+		rep.L1Hits+rep.L2Hits+rep.PeerHits+rep.Forwards)
+	fmt.Fprintf(w, "  failovers %d  rebalances %d  handbacks %d  kill-phase failures %d\n",
+		rep.Failovers, rep.Rebalances, rep.Handbacks, rep.KillPhaseFailed)
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(w, "  phase %-8s %4d req  %.0f req/s  p50 %.2fms  p99 %.2fms\n",
+			ph.Name, ph.Requests, ph.RPS, ph.P50Ms, ph.P99Ms)
+	}
+
+	var bad []string
+	if rep.KillPhaseFailed != 0 {
+		bad = append(bad, fmt.Sprintf("%d client-visible failures during the kill phase", rep.KillPhaseFailed))
+	}
+	if len(rep.DigestConflicts) != 0 {
+		bad = append(bad, fmt.Sprintf("tree digest conflicts: %v", rep.DigestConflicts))
+	}
+	if rep.Rebalances == 0 {
+		bad = append(bad, "no rebalance observed")
+	}
+	if rep.Handbacks == 0 {
+		bad = append(bad, "no hand-back observed")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("cluster acceptance failed: %v", bad)
+	}
+	fmt.Fprintln(w, "  cluster acceptance: PASS")
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		out := map[string]any{
+			"description": "cluster harness: consistent-hash front tier + shards through healthy, kill-one-shard and warm-restart phases",
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"clients":     conc,
+			"report":      rep,
+		}
+		if err := enc.Encode(out); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote cluster report to %s\n", jsonOut)
+	}
+	return nil
 }
 
 // runChaos drives serve.RunChaosHarness over the real routing pipeline and

@@ -1,0 +1,517 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// HarnessConfig drives one end-to-end cluster exercise: a front tier over
+// N shards through a healthy phase, a kill-one-shard phase (the shard
+// dies mid-load), and a recovery phase (it restarts with a stretched
+// warmup so the peer-fetch window is observable).
+type HarnessConfig struct {
+	// Shards is the backend count (0 = 3).
+	Shards int
+	// GcrdBin, when non-empty, runs each shard as a real gcrd subprocess
+	// at this binary path — a multi-process cluster over loopback. Empty
+	// runs shards in-process (sockets still real), which composes with
+	// the race detector.
+	GcrdBin string
+	// Dir is the scratch directory for shard snapshots ("" = a temp dir,
+	// removed afterward).
+	Dir string
+
+	// Requests / KillRequests / RecoverRequests size the three phases
+	// (0 = 240 / 160 / 160).
+	Requests, KillRequests, RecoverRequests int
+	// Concurrency is the parallel client count (0 = 6).
+	Concurrency int
+
+	// L1Size is the front tier's LRU capacity (0 = 48: deliberately
+	// smaller than the kill/recovery request pools, so those phases cycle
+	// through L1 evictions and exercise the L2 and peer-fetch paths
+	// instead of answering everything locally).
+	L1Size int
+	// ShardCache is each shard's LRU capacity (0 = 256).
+	ShardCache int
+	// WarmupDelay stretches the restarted shard's snapshot load so the
+	// recovery phase reliably observes peer fetch (0 = 500ms).
+	WarmupDelay time.Duration
+	// Seed offsets the request pools' seeds (0 = 42).
+	Seed int
+
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// PhaseReport is the client-side tally of one harness phase.
+type PhaseReport struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`   // 429s
+	Failed   int     `json:"failed"` // any other non-200
+	RPS      float64 `json:"rps"`
+	P50Ms    float64 `json:"p50Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+
+	// Per-phase deltas of the front tier's counters.
+	L1Hits   int64 `json:"l1Hits"`
+	L2Hits   int64 `json:"l2Hits"`
+	PeerHits int64 `json:"peerHits"`
+	Forwards int64 `json:"forwards"`
+}
+
+// ClusterReport is the full harness outcome, the payload behind
+// BENCH_cluster.json.
+type ClusterReport struct {
+	Shards       int           `json:"shards"`
+	MultiProcess bool          `json:"multiProcess"`
+	Phases       []PhaseReport `json:"phases"`
+
+	L1Hits     int64 `json:"l1Hits"`
+	L2Hits     int64 `json:"l2Hits"`
+	PeerHits   int64 `json:"peerHits"`
+	Forwards   int64 `json:"forwards"`
+	Failovers  int64 `json:"failovers"`
+	Rebalances int64 `json:"rebalances"`
+	Handbacks  int64 `json:"handbacks"`
+
+	// L1HitRate etc. are fractions of all requests across the run.
+	L1HitRate   float64 `json:"l1HitRate"`
+	L2HitRate   float64 `json:"l2HitRate"`
+	PeerHitRate float64 `json:"peerHitRate"`
+
+	// KillPhaseFailed must be zero: the kill window is served entirely by
+	// failover, with no client-visible loss.
+	KillPhaseFailed int `json:"killPhaseFailed"`
+	// DigestConflicts lists request digests whose tree digest differed
+	// between answers — must be empty (cluster answers are bit-identical).
+	DigestConflicts []string `json:"digestConflicts,omitempty"`
+}
+
+// shardProc is one shard's lifecycle, independent of whether it lives in
+// this process or in a gcrd subprocess. A proc keeps its address across
+// restarts so the Router's shard list stays valid.
+type shardProc interface {
+	url() string
+	// start launches the shard; warmup stretches its snapshot load.
+	start(warmup time.Duration) error
+	// stop ends it: gracefully (drain + final snapshot) or abruptly
+	// (connections die mid-flight).
+	stop(graceful bool) error
+}
+
+// localShard runs a serve.Server on a real loopback listener inside this
+// process — the -race-friendly shard.
+type localShard struct {
+	cfg  serve.Config
+	addr string
+	srv  *serve.Server
+	hs   *http.Server
+	done chan struct{}
+}
+
+func (p *localShard) url() string { return "http://" + p.addr }
+
+func (p *localShard) start(warmup time.Duration) error {
+	listen := p.addr
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("cluster harness: shard listen %s: %w", listen, err)
+	}
+	p.addr = ln.Addr().String()
+	cfg := p.cfg
+	cfg.WarmupDelay = warmup
+	p.srv = serve.New(cfg)
+	p.hs = &http.Server{Handler: p.srv.Handler()}
+	p.done = make(chan struct{})
+	go func(hs *http.Server, done chan struct{}) {
+		hs.Serve(ln)
+		close(done)
+	}(p.hs, p.done)
+	return nil
+}
+
+func (p *localShard) stop(graceful bool) error {
+	if p.srv == nil {
+		return nil
+	}
+	if graceful {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		drainErr := p.srv.Shutdown(ctx) // drain + final snapshot
+		p.hs.Shutdown(ctx)
+		<-p.done
+		p.srv = nil
+		return drainErr
+	}
+	// Abrupt: the listener and every open connection die first, so
+	// in-flight forwards see transport errors exactly like a process
+	// crash; the drain below only reaps the worker goroutines (its
+	// snapshot write is the periodic one a real crash would also have).
+	p.hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	p.srv.Shutdown(ctx)
+	<-p.done
+	p.srv = nil
+	return nil
+}
+
+// execShard runs a shard as a real gcrd subprocess — the multi-process
+// cluster over loopback.
+type execShard struct {
+	bin     string
+	addr    string
+	snap    string
+	cache   int
+	cmd     *exec.Cmd
+	waitErr chan error
+}
+
+func (p *execShard) url() string { return "http://" + p.addr }
+
+func (p *execShard) start(warmup time.Duration) error {
+	if p.addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		p.addr = ln.Addr().String()
+		ln.Close()
+	}
+	args := []string{
+		"-addr", p.addr,
+		"-cache", fmt.Sprint(p.cache),
+		"-snapshot", p.snap,
+		"-snapshot-interval", "200ms",
+		"-grace", "10s",
+	}
+	if warmup > 0 {
+		args = append(args, "-warmup-delay", warmup.String())
+	}
+	p.cmd = exec.Command(p.bin, args...)
+	p.cmd.Stdout = os.Stderr
+	p.cmd.Stderr = os.Stderr
+	if err := p.cmd.Start(); err != nil {
+		return fmt.Errorf("cluster harness: start %s: %w", p.bin, err)
+	}
+	p.waitErr = make(chan error, 1)
+	go func(cmd *exec.Cmd, ch chan error) { ch <- cmd.Wait() }(p.cmd, p.waitErr)
+	// Wait for liveness: the process owns its socket once /healthz answers.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.url() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	p.cmd.Process.Kill()
+	return fmt.Errorf("cluster harness: shard %s never became live", p.addr)
+}
+
+func (p *execShard) stop(graceful bool) error {
+	if p.cmd == nil {
+		return nil
+	}
+	if graceful {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-p.waitErr:
+		case <-time.After(15 * time.Second):
+			p.cmd.Process.Kill()
+			<-p.waitErr
+		}
+	} else {
+		p.cmd.Process.Kill()
+		<-p.waitErr
+	}
+	p.cmd = nil
+	return nil
+}
+
+// driveStats is the client-side tally of one drive call.
+type driveStats struct {
+	mu        sync.Mutex
+	ok, shed  int
+	failed    int
+	latencies []time.Duration
+	digests   map[string]string
+	conflicts []string
+	elapsed   time.Duration
+}
+
+// drive fires total requests from conc workers at the front-tier handler,
+// optionally invoking kill() just before request index killAt is sent —
+// the mid-load shard loss. Responses are checked for tree-digest
+// consistency across the whole run via the shared digests map.
+func drive(h http.Handler, bodies [][]byte, total, conc, killAt int, kill func(), st *driveStats) {
+	if st.digests == nil {
+		st.digests = map[string]string{}
+	}
+	var next atomic.Int64
+	var killOnce sync.Once
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if kill != nil && i >= killAt {
+					killOnce.Do(kill)
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				req := httptest.NewRequest(http.MethodPost, "/v1/route", strings.NewReader(string(body)))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				lat := time.Since(t0)
+
+				st.mu.Lock()
+				st.latencies = append(st.latencies, lat)
+				switch rec.Code {
+				case http.StatusOK:
+					st.ok++
+					var resp serve.RouteResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err == nil {
+						if prev, seen := st.digests[resp.Digest]; seen && prev != resp.TreeDigest {
+							st.conflicts = append(st.conflicts, fmt.Sprintf(
+								"request %s: tree %s vs %s", resp.Digest[:12], prev[:12], resp.TreeDigest[:12]))
+						} else {
+							st.digests[resp.Digest] = resp.TreeDigest
+						}
+					}
+				case http.StatusTooManyRequests:
+					st.shed++
+				default:
+					st.failed++
+				}
+				st.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	st.elapsed = time.Since(start)
+}
+
+func quantileMs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return float64(s[i]) / float64(time.Millisecond)
+}
+
+// RunClusterHarness builds the cluster, runs the three phases and reports.
+func RunClusterHarness(cfg HarnessConfig) (*ClusterReport, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 3
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 240
+	}
+	if cfg.KillRequests <= 0 {
+		cfg.KillRequests = 160
+	}
+	if cfg.RecoverRequests <= 0 {
+		cfg.RecoverRequests = 160
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 6
+	}
+	if cfg.L1Size == 0 {
+		cfg.L1Size = 48
+	}
+	if cfg.ShardCache == 0 {
+		cfg.ShardCache = 256
+	}
+	if cfg.WarmupDelay <= 0 {
+		cfg.WarmupDelay = 500 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "cluster-harness-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// Build and start the shards.
+	procs := make([]shardProc, cfg.Shards)
+	for i := range procs {
+		snap := filepath.Join(dir, fmt.Sprintf("shard%d.snap", i))
+		if cfg.GcrdBin != "" {
+			procs[i] = &execShard{bin: cfg.GcrdBin, snap: snap, cache: cfg.ShardCache}
+		} else {
+			procs[i] = &localShard{cfg: serve.Config{
+				CacheSize:        cfg.ShardCache,
+				SnapshotPath:     snap,
+				SnapshotInterval: 200 * time.Millisecond,
+			}}
+		}
+		if err := procs[i].start(0); err != nil {
+			return nil, err
+		}
+		defer procs[i].stop(true)
+	}
+	urls := make([]string, len(procs))
+	for i, p := range procs {
+		urls[i] = p.url()
+	}
+	logf("cluster: %d shards up at %s", len(urls), strings.Join(urls, " "))
+
+	rt, err := New(Config{
+		Shards:           urls,
+		L1Size:           cfg.L1Size,
+		ProbeInterval:    100 * time.Millisecond,
+		ForwardTimeout:   30 * time.Second,
+		BreakerThreshold: 2,
+		BreakerCooldown:  500 * time.Millisecond,
+		Seed:             uint64(cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	if err := waitAllReady(rt, 15*time.Second); err != nil {
+		return nil, err
+	}
+	handler := rt.Handler()
+
+	report := &ClusterReport{Shards: cfg.Shards, MultiProcess: cfg.GcrdBin != ""}
+	st := &driveStats{}
+	counters := func() [4]int64 {
+		return [4]int64{rt.inst.l1Hits.Value(), rt.inst.l2Hits.Value(),
+			rt.inst.peerHits.Value(), rt.inst.forwards.Value()}
+	}
+	runPhase := func(name string, bodies [][]byte, total, killAt int, kill func()) PhaseReport {
+		before := counters()
+		okBefore, shedBefore, failBefore, latBefore := st.ok, st.shed, st.failed, len(st.latencies)
+		drive(handler, bodies, total, cfg.Concurrency, killAt, kill, st)
+		after := counters()
+		lats := st.latencies[latBefore:]
+		pr := PhaseReport{
+			Name:     name,
+			Requests: total,
+			OK:       st.ok - okBefore,
+			Shed:     st.shed - shedBefore,
+			Failed:   st.failed - failBefore,
+			RPS:      float64(total) / st.elapsed.Seconds(),
+			P50Ms:    quantileMs(lats, 0.50),
+			P99Ms:    quantileMs(lats, 0.99),
+			L1Hits:   after[0] - before[0],
+			L2Hits:   after[1] - before[1],
+			PeerHits: after[2] - before[2],
+			Forwards: after[3] - before[3],
+		}
+		logf("cluster: phase %-8s %d req  ok=%d shed=%d failed=%d  l1=%d l2=%d peer=%d fwd=%d  p99=%.1fms",
+			name, total, pr.OK, pr.Shed, pr.Failed, pr.L1Hits, pr.L2Hits, pr.PeerHits, pr.Forwards, pr.P99Ms)
+		return pr
+	}
+
+	// Phase 1 — healthy: a pool of distinct requests (small enough to fit
+	// L1) cycled ~6×, so the first pass forwards and the repeats hit L1.
+	poolA := serve.DistinctBodies(cfg.Requests/6+1, cfg.Seed)
+	report.Phases = append(report.Phases, runPhase("healthy", poolA, cfg.Requests, 0, nil))
+
+	// Phase 2 — kill: fresh keys join the mix and one shard dies mid-load;
+	// its keys fail over to ring successors within the same requests.
+	victim := procs[len(procs)-1]
+	poolB := serve.DistinctBodies(cfg.KillRequests/4+1, cfg.Seed+10000)
+	killBodies := append(append([][]byte{}, poolA...), poolB...)
+	kill := func() {
+		logf("cluster: killing shard %s mid-load", victim.url())
+		victim.stop(false)
+	}
+	pr := runPhase("kill", killBodies, cfg.KillRequests, cfg.KillRequests/5, kill)
+	report.Phases = append(report.Phases, pr)
+	report.KillPhaseFailed = pr.Failed
+
+	// Phase 3 — recovery: the victim restarts with a stretched warmup.
+	// While it warms, requests for its keys peer-fetch from the shards
+	// that covered during the outage; once ready, its snapshot serves L2.
+	if err := victim.start(cfg.WarmupDelay); err != nil {
+		return nil, fmt.Errorf("cluster harness: restart victim: %w", err)
+	}
+	rt.ProbeNow()
+	report.Phases = append(report.Phases, runPhase("recovery", killBodies, cfg.RecoverRequests, 0, nil))
+	if err := waitAllReady(rt, 15*time.Second); err != nil {
+		return nil, err
+	}
+
+	report.L1Hits = rt.inst.l1Hits.Value()
+	report.L2Hits = rt.inst.l2Hits.Value()
+	report.PeerHits = rt.inst.peerHits.Value()
+	report.Forwards = rt.inst.forwards.Value()
+	report.Failovers = rt.inst.failovers.Value()
+	report.Rebalances = rt.inst.rebalances.Value()
+	report.Handbacks = rt.inst.handbacks.Value()
+	total := float64(rt.inst.requests.Value())
+	if total > 0 {
+		report.L1HitRate = float64(report.L1Hits) / total
+		report.L2HitRate = float64(report.L2Hits) / total
+		report.PeerHitRate = float64(report.PeerHits) / total
+	}
+	report.DigestConflicts = st.conflicts
+	return report, nil
+}
+
+// waitAllReady polls ProbeNow until every shard reports ready.
+func waitAllReady(rt *Router, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		rt.ProbeNow()
+		allReady := true
+		for _, s := range rt.ShardStates() {
+			if s.State != "ready" {
+				allReady = false
+			}
+		}
+		if allReady {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster harness: shards not ready after %v: %+v", timeout, rt.ShardStates())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterHarnessEndToEnd runs the full three-phase drill in-process
+// (real sockets, race-detector friendly): healthy load, a shard killed
+// mid-load with zero client-visible loss, and a warm restart that hands
+// its keys back.
+func TestClusterHarnessEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end drill: skipped in -short")
+	}
+	report, err := RunClusterHarness(HarnessConfig{
+		Shards:          3,
+		Dir:             t.TempDir(),
+		Requests:        120,
+		KillRequests:    90,
+		RecoverRequests: 90,
+		Concurrency:     4,
+		L1Size:          16, // smaller than the pools: recovery must hit L2/peer
+		WarmupDelay:     600 * time.Millisecond,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Phases) != 3 {
+		t.Fatalf("phases: %+v", report.Phases)
+	}
+	if report.KillPhaseFailed != 0 {
+		t.Fatalf("kill phase had %d client-visible failures; report: %+v", report.KillPhaseFailed, report)
+	}
+	for _, ph := range report.Phases {
+		if ph.Failed != 0 || ph.Shed != 0 {
+			t.Fatalf("phase %s: failed=%d shed=%d, want all answered", ph.Name, ph.Failed, ph.Shed)
+		}
+		if ph.OK != ph.Requests {
+			t.Fatalf("phase %s: ok=%d of %d", ph.Name, ph.OK, ph.Requests)
+		}
+	}
+	if len(report.DigestConflicts) != 0 {
+		t.Fatalf("tree digests diverged across the cluster: %v", report.DigestConflicts)
+	}
+	if report.Rebalances == 0 {
+		t.Fatal("the kill never registered as a rebalance")
+	}
+	if report.Handbacks == 0 {
+		t.Fatal("the restart never registered as a hand-back")
+	}
+	if report.Phases[0].L1Hits == 0 {
+		t.Fatalf("healthy phase produced no L1 hits: %+v", report.Phases[0])
+	}
+	if report.L2Hits == 0 {
+		t.Fatalf("run produced no L2 hits: %+v", report)
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterminism: two rings with the same parameters agree on every
+// preference order — the property that lets independent front tiers (and
+// the digest-identity tests) recompute placement without coordination.
+func TestRingDeterminism(t *testing.T) {
+	a := newRing(5, 64)
+	b := newRing(5, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		oa, ob := a.owners(k, 5), b.owners(k, 5)
+		if len(oa) != 5 || len(ob) != 5 {
+			t.Fatalf("owners(%d) lengths %d/%d", k, len(oa), len(ob))
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("owners(%d) diverge: %v vs %v", k, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingOwnersDistinctAndComplete: a full preference order visits every
+// shard exactly once, and a truncated one is its prefix.
+func TestRingOwnersDistinctAndComplete(t *testing.T) {
+	r := newRing(4, 32)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		k := rng.Uint64()
+		full := r.owners(k, 4)
+		seen := map[int]bool{}
+		for _, s := range full {
+			if s < 0 || s >= 4 || seen[s] {
+				t.Fatalf("owners(%d) = %v: out of range or repeated", k, full)
+			}
+			seen[s] = true
+		}
+		if len(full) != 4 {
+			t.Fatalf("owners(%d) = %v: incomplete", k, full)
+		}
+		two := r.owners(k, 2)
+		if len(two) != 2 || two[0] != full[0] || two[1] != full[1] {
+			t.Fatalf("owners(%d, 2) = %v is not a prefix of %v", k, two, full)
+		}
+		if got := r.owners(k, 99); len(got) != 4 {
+			t.Fatalf("owners(%d, 99) = %v: want clamped to 4", k, got)
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes, no shard's key share collapses — each
+// of 3 shards owns at least 15% of 20k uniform keys.
+func TestRingBalance(t *testing.T) {
+	r := newRing(3, 64)
+	counts := [3]int{}
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.owners(rng.Uint64(), 1)[0]]++
+	}
+	for s, c := range counts {
+		if c < n*15/100 {
+			t.Fatalf("shard %d owns only %d/%d keys: %v", s, c, n, counts)
+		}
+	}
+}
+
+// TestRingKey: the digest-to-circle mapping parses the leading 16 hex
+// digits and degrades to zero on malformed input.
+func TestRingKey(t *testing.T) {
+	if got := ringKey("ffffffffffffffff" + "00"); got != ^uint64(0) {
+		t.Fatalf("ringKey(f×16) = %x", got)
+	}
+	if got := ringKey("0000000000000001aa"); got != 1 {
+		t.Fatalf("ringKey = %x, want 1", got)
+	}
+	if got := ringKey("short"); got != 0 {
+		t.Fatalf("ringKey(short) = %x, want 0", got)
+	}
+	if got := ringKey("zzzzzzzzzzzzzzzz"); got != 0 {
+		t.Fatalf("ringKey(nonhex) = %x, want 0", got)
+	}
+}

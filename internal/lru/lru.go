@@ -1,0 +1,87 @@
+// Package lru is the shared least-recently-used cache behind the serving
+// tier: the per-shard result cache in internal/serve and the cluster front
+// tier's L1 in internal/cluster. It is a plain mutex-guarded map plus an
+// intrusive recency list — no sharding, no TTLs — because every user keys
+// it by a canonical SHA-256 digest and stores immutable results, so the
+// only policy that matters is bounded memory with hot-entry retention.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one key/value pair, in the order EntriesColdToHot reports.
+type Entry[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Cache is a fixed-capacity LRU map. The zero value is not usable; create
+// with New. A Cache is safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+// New returns a cache holding at most max entries; max <= 0 yields a
+// disabled cache whose Add is a no-op and Get always misses.
+func New[K comparable, V any](max int) *Cache[K, V] {
+	return &Cache[K, V]{max: max, ll: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Get returns the value cached under k, refreshing its recency.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*Entry[K, V]).Value, true
+}
+
+// Add inserts (or refreshes) k → v, evicting the least recently used entry
+// when over capacity.
+func (c *Cache[K, V]) Add(k K, v V) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*Entry[K, V]).Value = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&Entry[K, V]{Key: k, Value: v})
+	for c.ll.Len() > c.max {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*Entry[K, V]).Key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// EntriesColdToHot copies the cache in eviction order (least → most
+// recently used) — the order a snapshot replays through Add so a restored
+// cache reproduces the original recency list exactly.
+func (c *Cache[K, V]) EntriesColdToHot() []Entry[K, V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry[K, V], 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*Entry[K, V]))
+	}
+	return out
+}

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -29,6 +32,19 @@ func (k Kind) String() string {
 		return "histogram"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindFromString inverts Kind.String; unknown names report false.
+func KindFromString(s string) (Kind, bool) {
+	switch s {
+	case "counter":
+		return KindCounter, true
+	case "gauge":
+		return KindGauge, true
+	case "histogram":
+		return KindHistogram, true
+	}
+	return 0, false
 }
 
 // Counter is a monotonically increasing count. Updates are single atomic
@@ -305,6 +321,46 @@ type BucketCount struct {
 	Count int64   `json:"count"`
 }
 
+// bucketWire is the JSON form of a bucket: the bound travels as a string
+// because the overflow bucket's +Inf is not a JSON number (and "+Inf" is
+// the Prometheus spelling anyway).
+type bucketWire struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MarshalJSON encodes the bound as a string, "+Inf" for the overflow
+// bucket — without this the expvar/JSON encodings of any histogram-bearing
+// snapshot would fail outright on the unencodable infinity.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.Le, 1) {
+		le = strconv.FormatFloat(b.Le, 'g', -1, 64)
+	}
+	return json.Marshal(bucketWire{Le: le, Count: b.Count})
+}
+
+// UnmarshalJSON inverts MarshalJSON exactly: strconv's 'g'/-1 round trip
+// is lossless, so a decoded snapshot merges bit-identically to the local
+// one it was captured from.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var w bucketWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Le == "+Inf" {
+		b.Le = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(w.Le, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket bound %q: %w", w.Le, err)
+		}
+		b.Le = v
+	}
+	b.Count = w.Count
+	return nil
+}
+
 // InstrumentSnapshot is the point-in-time state of one instrument.
 type InstrumentSnapshot struct {
 	Kind    Kind          `json:"-"`
@@ -313,6 +369,25 @@ type InstrumentSnapshot struct {
 	Count   int64         `json:"count,omitempty"`   // histogram
 	Sum     float64       `json:"sum,omitempty"`     // histogram
 	Buckets []BucketCount `json:"buckets,omitempty"` // histogram
+}
+
+// UnmarshalJSON restores the typed Kind from the wire kind string, so a
+// snapshot fetched over HTTP (a shard's /metrics.json) merges exactly like
+// a locally captured one — Merge dispatches on Kind, which the wire form
+// only carries as text.
+func (s *InstrumentSnapshot) UnmarshalJSON(data []byte) error {
+	type plain InstrumentSnapshot // shed methods: avoid recursing into this unmarshaler
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*s = InstrumentSnapshot(p)
+	if k, ok := KindFromString(s.KindStr); ok {
+		s.Kind = k
+	} else {
+		return fmt.Errorf("obs: snapshot instrument has unknown kind %q", s.KindStr)
+	}
+	return nil
 }
 
 // Snapshot is a consistent-enough copy of a registry (each instrument is
@@ -353,6 +428,10 @@ func (r *Registry) Snapshot() Snapshot {
 // Merge folds other into s: counters and histogram buckets are summed,
 // gauges take the maximum (the useful aggregate for depth/size gauges).
 // Instruments missing from s are copied over.
+//
+// Every aggregate is integer arithmetic except the histogram Sum, whose
+// floating-point addition is order-sensitive in the last ulp — use
+// MergeAll when byte-identical output across input permutations matters.
 func (s Snapshot) Merge(other Snapshot) {
 	for name, o := range other {
 		cur, ok := s[name]
@@ -383,6 +462,37 @@ func (s Snapshot) Merge(other Snapshot) {
 	}
 }
 
+// MergeAll merges any number of snapshots into a fresh one,
+// order-independently: the integer aggregates (counters, gauges, bucket
+// counts) are commutative already, and the one float aggregate — the
+// histogram Sum — is summed in sorted value order, so every permutation of
+// the inputs produces a bit-identical result. This is the aggregation
+// behind the cluster front tier's merged /metrics: scraping shards in
+// whatever order they answer must not change the exposition.
+func MergeAll(snaps ...Snapshot) Snapshot {
+	out := Snapshot{}
+	sums := map[string][]float64{}
+	for _, s := range snaps {
+		for name, is := range s {
+			if is.Kind == KindHistogram {
+				sums[name] = append(sums[name], is.Sum)
+			}
+		}
+		out.Merge(s)
+	}
+	for name, vs := range sums {
+		sort.Float64s(vs)
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		is := out[name]
+		is.Sum = total
+		out[name] = is
+	}
+	return out
+}
+
 // WriteProm writes the registry in the Prometheus text exposition format:
 // a # HELP and # TYPE line per instrument, histograms expanded into
 // cumulative _bucket{le="…"} series plus _sum and _count. Instruments are
@@ -395,6 +505,19 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		help[k] = v
 	}
 	r.mu.Unlock()
+	return writeSnapshotProm(w, snap, help)
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format
+// (no # HELP lines — a snapshot does not carry help text). The output is a
+// pure sorted function of the snapshot's contents, which is what makes the
+// cluster front tier's aggregated /metrics deterministic: merging per-shard
+// snapshots in any order writes byte-identical expositions.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	return writeSnapshotProm(w, s, nil)
+}
+
+func writeSnapshotProm(w io.Writer, snap Snapshot, help map[string]string) error {
 	for _, name := range sortedKeys(snap) {
 		s := snap[name]
 		if h := help[name]; h != "" {

@@ -1,10 +1,8 @@
 package serve
 
 import (
-	"container/list"
-	"sync"
-
 	"repro/internal/core"
+	"repro/internal/lru"
 	"repro/internal/power"
 )
 
@@ -20,74 +18,23 @@ type RouteResult struct {
 	RouteMs    float64 // wall time of the original construction
 }
 
-// lruCache is a digest-keyed LRU of RouteResults: mutex-guarded map plus
-// intrusive recency list, eviction from the cold end at capacity.
-type lruCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-}
+// resultCache is the digest-keyed LRU of RouteResults (internal/lru).
+type resultCache = lru.Cache[string, *RouteResult]
 
+// cacheEntry is the snapshot-format view of one cache entry.
 type cacheEntry struct {
 	digest string
 	res    *RouteResult
 }
 
-func newLRUCache(max int) *lruCache {
-	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
-}
-
-// get returns the cached result for digest, refreshing its recency.
-func (c *lruCache) get(digest string) (*RouteResult, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[digest]
-	if !ok {
-		return nil, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
-}
-
-// add inserts (or refreshes) digest → res, evicting the least recently
-// used entry when over capacity.
-func (c *lruCache) add(digest string, res *RouteResult) {
-	if c.max <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[digest]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[digest] = c.ll.PushFront(&cacheEntry{digest: digest, res: res})
-	for c.ll.Len() > c.max {
-		cold := c.ll.Back()
-		c.ll.Remove(cold)
-		delete(c.items, cold.Value.(*cacheEntry).digest)
-	}
-}
-
-// len returns the current entry count.
-func (c *lruCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
-
 // entriesColdToHot copies the cache in eviction order (least → most
-// recently used), the order a snapshot replays through add() so the
-// restored cache reproduces the original recency list exactly.
-func (c *lruCache) entriesColdToHot() []cacheEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]cacheEntry, 0, c.ll.Len())
-	for el := c.ll.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*cacheEntry)
-		out = append(out, cacheEntry{digest: e.digest, res: e.res})
+// recently used), the order a snapshot replays through Add so the restored
+// cache reproduces the original recency list exactly.
+func entriesColdToHot(c *resultCache) []cacheEntry {
+	raw := c.EntriesColdToHot()
+	out := make([]cacheEntry, len(raw))
+	for i, e := range raw {
+		out[i] = cacheEntry{digest: e.Key, res: e.Value}
 	}
 	return out
 }

@@ -106,6 +106,11 @@ type ClientResult struct {
 	Retries int
 	// Hedged reports that the winning response came from a hedge attempt.
 	Hedged bool
+	// RetryAfter is the Retry-After duration of the final answer, when the
+	// server sent one (429/503). A proxying caller — the cluster front
+	// tier — forwards it verbatim so the end client's backoff keys off the
+	// shard's own queue estimate, not a generic guess.
+	RetryAfter time.Duration
 }
 
 func (c *Client) init() {
@@ -182,6 +187,9 @@ func (c *Client) Route(ctx context.Context, body []byte) (*ClientResult, error) 
 			if ctx.Err() != nil {
 				return out, fmt.Errorf("serve client: budget exhausted: %w", ctx.Err())
 			}
+			if attempt+1 >= c.MaxAttempts {
+				break // out of attempts: skip the final, unusable backoff
+			}
 			if werr := c.backoff(ctx, attempt, 0); werr != nil {
 				return out, fmt.Errorf("serve client: budget exhausted during backoff: %w (last failure: %w)", werr, err)
 			}
@@ -189,6 +197,7 @@ func (c *Client) Route(ctx context.Context, body []byte) (*ClientResult, error) 
 		}
 		out.Status = resp.status
 		out.Hedged = hedged
+		out.RetryAfter = resp.retryAfter
 		c.breaker.record(resp.status < 500, c.now())
 		switch {
 		case resp.status == http.StatusOK:
@@ -197,6 +206,9 @@ func (c *Client) Route(ctx context.Context, body []byte) (*ClientResult, error) 
 		case resp.status == http.StatusTooManyRequests || resp.status >= 500:
 			out.ErrorBody = resp.errBody
 			lastErr = fmt.Errorf("serve client: status %d", resp.status)
+			if attempt+1 >= c.MaxAttempts {
+				break // out of attempts: don't sleep a backoff nobody will use
+			}
 			if werr := c.backoff(ctx, attempt, resp.retryAfter); werr != nil {
 				return out, fmt.Errorf("serve client: budget exhausted during backoff: %w (last status %d)", werr, resp.status)
 			}

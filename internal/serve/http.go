@@ -71,6 +71,34 @@ type RouteStats struct {
 	DowngradeReason  string `json:"downgradeReason,omitempty"`
 }
 
+// Result converts the wire response back into the internal RouteResult,
+// restoring exactly the wire-visible fields. The cluster front tier uses
+// it to admit a forwarded 200 into its L1 cache; fields the wire form does
+// not carry (index counters, phase timings) come back zero, which is
+// invisible to clients because BuildRouteResponse only reads the
+// wire-visible subset.
+func (r *RouteResponse) Result() *RouteResult {
+	res := &RouteResult{TreeDigest: r.TreeDigest, RouteMs: r.RouteMs}
+	res.Report.TotalSC = r.Report.TotalSC
+	res.Report.ClockSC = r.Report.ClockSC
+	res.Report.CtrlSC = r.Report.CtrlSC
+	res.Report.UngatedSC = r.Report.UngatedSC
+	res.Report.ClockWirelength = r.Report.ClockWirelength
+	res.Report.StarWirelength = r.Report.StarWirelength
+	res.Report.NumGates = r.Report.Gates
+	res.Report.NumBuffers = r.Report.Buffers
+	res.Report.MaxDelayPs = r.Report.MaxDelayPs
+	res.Report.SkewPs = r.Report.SkewPs
+	res.Stats.Merges = r.Stats.Merges
+	res.Stats.Snakes = r.Stats.Snakes
+	res.Stats.PairEvals = r.Stats.PairEvals
+	res.Stats.PairEvalsSkipped = r.Stats.PairEvalsSkipped
+	res.Stats.PairEvalsCached = r.Stats.PairEvalsCached
+	res.Stats.Downgraded = r.Stats.Downgraded
+	res.Stats.DowngradeReason = r.Stats.DowngradeReason
+	return res
+}
+
 // ErrorResponse is the JSON body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -81,13 +109,22 @@ type ErrorResponse struct {
 
 // buildResponse assembles the wire form of a result.
 func buildResponse(rr *Resolved, info submitInfo, res *RouteResult) *RouteResponse {
+	return BuildRouteResponse(rr, info.digest, info.cached, info.coalesced, res)
+}
+
+// BuildRouteResponse assembles the wire form of a result. The cluster
+// front tier uses it to answer from its L1 cache and from peer-fetched
+// RouteResults with a body identical to what the owning shard would have
+// sent (modulo the cached/coalesced markers, which describe how *this*
+// response was satisfied).
+func BuildRouteResponse(rr *Resolved, digest string, cached, coalesced bool, res *RouteResult) *RouteResponse {
 	rep := res.Report
 	st := res.Stats
 	return &RouteResponse{
-		Digest:      info.digest,
+		Digest:      digest,
 		TreeDigest:  res.TreeDigest,
-		Cached:      info.cached,
-		Coalesced:   info.coalesced,
+		Cached:      cached,
+		Coalesced:   coalesced,
 		Benchmark:   rr.Cfg.Name,
 		Sinks:       rr.Cfg.NumSinks,
 		Mode:        rr.Mode,
@@ -133,11 +170,50 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/route", s.handleRoute)
 	mux.HandleFunc("POST /v1/route/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/cache/{digest}", s.handleCachePeek)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return s.recoverMiddleware(mux)
+}
+
+// CacheEntryResponse is the body of a GET /v1/cache/{digest} hit: the full
+// internal-fidelity RouteResult, not the trimmed wire RouteResponse, so a
+// peer-fetching front tier caches exactly what the owning shard had.
+type CacheEntryResponse struct {
+	Digest string      `json:"digest"`
+	Result RouteResult `json:"result"`
+}
+
+// handleCachePeek answers a cache lookup by digest without ever routing: a
+// hit returns the stored result, a miss is a plain 404. This is the
+// shard-side half of the cluster's peer fetch — after a rebalance the new
+// owner's front tier asks the old owner's cache for the result by digest
+// before paying for a recompute. Peeking refreshes recency: a peer-fetched
+// entry is demonstrably hot.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !isHexDigest(digest) {
+		s.writeError(w, fmt.Errorf("%w: %q is not a request digest (64 hex chars)", ErrBadRequest, digest))
+		return
+	}
+	res, ok := s.cache.Get(digest)
+	if !ok {
+		s.inst.peekMisses.Inc()
+		writeJSON(w, http.StatusNotFound, &ErrorResponse{
+			Error: "no cached result for digest " + digest, Kind: "not_found"})
+		return
+	}
+	s.inst.peekHits.Inc()
+	writeJSON(w, http.StatusOK, &CacheEntryResponse{Digest: digest, Result: *res})
+}
+
+// handleMetricsJSON exposes the registry as one mergeable obs.Snapshot —
+// the scrape format behind the cluster front tier's aggregated /metrics.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Metrics.Snapshot())
 }
 
 // recoverMiddleware is the outermost line of panic defense: handler-level
@@ -285,7 +361,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, status, map[string]any{
 		"status":       state,
-		"cacheEntries": s.cache.len(),
+		"cacheEntries": s.cache.Len(),
 		"queueDepth":   s.QueueDepth(),
 	})
 }

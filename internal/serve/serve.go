@@ -13,6 +13,7 @@ import (
 
 	gatedclock "repro"
 	"repro/internal/bench"
+	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/verify"
 )
@@ -71,6 +72,12 @@ type Config struct {
 	// SnapshotInterval is the periodic snapshot cadence (0 = 30s;
 	// negative disables periodic saves, keeping only the on-drain one).
 	SnapshotInterval time.Duration
+	// WarmupDelay postpones the start-time snapshot load, stretching the
+	// /readyz "warming" window. It simulates slow snapshot storage: the
+	// cluster warm-restart tests use it to observe the front tier's
+	// peer-fetch path deterministically while a shard's cache is still
+	// cold. Zero (the production value) loads immediately.
+	WarmupDelay time.Duration
 
 	// route is the test seam for the routing execution; nil selects the
 	// real pipeline (generate → design → route → evaluate).
@@ -135,7 +142,7 @@ type Server struct {
 	flight    map[string]*call // singleflight: digest → in-flight call
 	inflightN int              // routing executions currently running
 
-	cache *lruCache
+	cache *resultCache
 	inst  *instruments
 	chaos *chaosInjector
 
@@ -177,6 +184,7 @@ type instruments struct {
 	shed, badRequests, routeErrors     *obs.Counter
 	verifyFails, batches, panics       *obs.Counter
 	snapSaves, snapLoaded, snapRejects *obs.Counter
+	peekHits, peekMisses               *obs.Counter
 	depth, inflight, cacheEntries      *obs.Gauge
 	queueWaitMs, routeMs               *obs.Histogram
 }
@@ -197,6 +205,8 @@ func newInstruments(r *obs.Registry) *instruments {
 		snapSaves:    r.Counter("serve_snapshot_saves_total", "cache snapshots written (periodic + on-drain)"),
 		snapLoaded:   r.Counter("serve_snapshot_loaded_total", "cache entries restored from the start-time snapshot"),
 		snapRejects:  r.Counter("serve_snapshot_rejected_total", "snapshot entries discarded by load-time verification"),
+		peekHits:     r.Counter("serve_cache_peek_hits_total", "cache-by-digest lookups (peer fetches) answered from the LRU"),
+		peekMisses:   r.Counter("serve_cache_peek_misses_total", "cache-by-digest lookups that found nothing"),
 		depth:        r.Gauge("serve_queue_depth", "admission-queue occupancy"),
 		inflight:     r.Gauge("serve_inflight", "routing executions currently running"),
 		cacheEntries: r.Gauge("serve_cache_entries", "LRU result-cache occupancy"),
@@ -216,7 +226,7 @@ func New(cfg Config) *Server {
 		queue:     make(chan *job, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		flight:    make(map[string]*call),
-		cache:     newLRUCache(cfg.CacheSize),
+		cache:     lru.New[string, *RouteResult](cfg.CacheSize),
 		inst:      newInstruments(cfg.Metrics),
 		chaos:     newChaosInjector(cfg.Chaos, cfg.Metrics),
 		startedAt: time.Now(),
@@ -232,6 +242,14 @@ func New(cfg Config) *Server {
 		s.snapWG.Add(1)
 		go func() {
 			defer s.snapWG.Done()
+			if cfg.WarmupDelay > 0 {
+				t := time.NewTimer(cfg.WarmupDelay)
+				select {
+				case <-t.C:
+				case <-s.stop: // shutting down before the load began
+					t.Stop()
+				}
+			}
 			s.loadSnapshot()
 			s.warmed.Store(true)
 			if cfg.SnapshotInterval > 0 {
@@ -276,7 +294,7 @@ func (s *Server) submit(ctx context.Context, rr *Resolved) (*RouteResult, submit
 	s.inst.requests.Inc()
 	digest := rr.Digest()
 	info := submitInfo{digest: digest}
-	if res, ok := s.cache.get(digest); ok {
+	if res, ok := s.cache.Get(digest); ok {
 		s.inst.hits.Inc()
 		info.cached = true
 		return res, info, nil
@@ -405,8 +423,8 @@ func (s *Server) runJob(j *job) {
 			}
 		} else {
 			res.RouteMs = float64(dur) / 1e6
-			s.cache.add(j.call.digest, res)
-			s.inst.cacheEntries.Set(int64(s.cache.len()))
+			s.cache.Add(j.call.digest, res)
+			s.inst.cacheEntries.Set(int64(s.cache.Len()))
 		}
 	}
 

@@ -536,7 +536,7 @@ func TestCacheEviction(t *testing.T) {
 	decodeResp(t, post(h, "/v1/route", a))
 	decodeResp(t, post(h, "/v1/route", b))
 	decodeResp(t, post(h, "/v1/route", c)) // evicts a
-	if got := s.cache.len(); got != 2 {
+	if got := s.cache.Len(); got != 2 {
 		t.Fatalf("cache holds %d entries, want 2", got)
 	}
 	if resp := decodeResp(t, post(h, "/v1/route", b)); !resp.Cached {

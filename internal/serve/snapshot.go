@@ -163,7 +163,7 @@ func (s *Server) SaveSnapshot() error {
 	if path == "" {
 		return fmt.Errorf("serve: no snapshot path configured")
 	}
-	data, err := encodeSnapshot(s.cache.entriesColdToHot())
+	data, err := encodeSnapshot(entriesColdToHot(s.cache))
 	if err != nil {
 		return fmt.Errorf("serve: encode snapshot: %w", err)
 	}
@@ -205,11 +205,11 @@ func (s *Server) loadSnapshot() {
 		return
 	}
 	for i := range entries {
-		s.cache.add(entries[i].digest, entries[i].res)
+		s.cache.Add(entries[i].digest, entries[i].res)
 	}
 	s.inst.snapLoaded.Add(int64(len(entries)))
 	s.inst.snapRejects.Add(int64(rejected))
-	s.inst.cacheEntries.Set(int64(s.cache.len()))
+	s.inst.cacheEntries.Set(int64(s.cache.Len()))
 }
 
 // snapshotLoop rewrites the snapshot every SnapshotInterval until the
